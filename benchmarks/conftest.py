@@ -1,0 +1,58 @@
+"""Benchmark harness configuration.
+
+Each ``test_*`` module regenerates one table/figure of the paper's
+evaluation (the full-size experiment, not the reduced shapes used by
+the unit tests), prints the paper-vs-measured report, asserts the
+qualitative shape, and times the regeneration with pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import CoRunHarness
+
+
+def pytest_configure(config):
+    # one warm harness (solo-time cache) shared by all benches
+    config._flep_harness = CoRunHarness()
+
+
+@pytest.fixture(scope="session")
+def harness(request):
+    return request.config._flep_harness
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Collected reports, written to bench_reports.txt at session end."""
+    return {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_reports(reports, request):
+    yield
+    if not reports:
+        return
+    lines = []
+    for key in sorted(reports):
+        lines.append(reports[key].format())
+        lines.append("")
+    text = "\n".join(lines)
+    print("\n" + text)
+
+
+def run_and_report(benchmark, reports, module, **kwargs):
+    """Regenerate an experiment under the benchmark timer (one round —
+    these are multi-second simulations, not microbenchmarks)."""
+    result = {}
+
+    def _run():
+        result["report"] = module.run(**kwargs)
+
+    benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    report = result["report"]
+    reports[report.experiment_id] = report
+    return report

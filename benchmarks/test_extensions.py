@@ -1,0 +1,56 @@
+"""Benches for the extension experiments: the elided FFS three-kernel
+co-runs and the design-choice ablations from DESIGN.md §7."""
+
+from repro.experiments import ablations, ffs3
+
+from conftest import run_and_report
+
+
+def test_ffs3(benchmark, reports):
+    report = run_and_report(benchmark, reports, ffs3)
+    assert abs(report.headline["share_w3_mean"] - 0.5) < 0.06
+    assert abs(report.headline["share_w2_mean"] - 1 / 3) < 0.06
+    assert abs(report.headline["share_w1_mean"] - 1 / 6) < 0.06
+
+
+def test_ablation_poll_cost(benchmark, reports):
+    result = {}
+
+    def _run():
+        result["r"] = ablations.run_poll_cost_sweep()
+
+    benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    report = result["r"]
+    reports[report.experiment_id] = report
+    # at NVLink-class poll cost the tuned L collapses by >=10x
+    for bench in ("NN", "VA"):
+        rows = [r for r in report.rows if r["benchmark"] == bench]
+        ls = {r["poll_us"]: r["tuned_l"] for r in rows}
+        assert ls[min(ls)] * 10 <= ls[max(ls)]
+
+
+def test_ablation_models(benchmark, reports, harness):
+    result = {}
+
+    def _run():
+        result["r"] = ablations.run_model_ablation(harness=harness)
+
+    benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    report = result["r"]
+    reports[report.experiment_id] = report
+    assert abs(report.headline["penalty_mean"] - 1.0) < 0.10
+
+
+def test_variance(benchmark, reports):
+    from repro.experiments import variance
+
+    result = {}
+
+    def _run():
+        result["r"] = variance.run(n_runs=10)
+
+    benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    report = result["r"]
+    reports[report.experiment_id] = report
+    # 10-run averages are tight: coefficient of variation under 10%
+    assert report.headline["cv_max"] < 0.10

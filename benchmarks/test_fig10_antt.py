@@ -1,0 +1,14 @@
+"""Regenerate Figure 10: equal-priority ANTT improvement (28 pairs)."""
+
+from repro.experiments import fig10
+
+from conftest import run_and_report
+
+
+def test_fig10(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig10, harness=harness)
+    assert len(report.rows) == 28
+    # paper: 8x average, up to 27x
+    assert 5 < report.headline["antt_improvement_mean"] < 12
+    assert 20 < report.headline["antt_improvement_max"] < 40
+    assert all(r["antt_improvement"] > 1 for r in report.rows)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 11: system-throughput degradation (28 pairs)."""
+
+from repro.experiments import fig11
+
+from conftest import run_and_report
+
+
+def test_fig11(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig11, harness=harness)
+    assert len(report.rows) == 28
+    # paper: ~5.4% average
+    assert 0.02 < report.headline["stp_degradation_mean"] < 0.09
+    assert report.headline["stp_degradation_max"] < 0.15

@@ -1,0 +1,15 @@
+"""Regenerate Figure 12: three-kernel co-runs + reordering baseline."""
+
+from repro.experiments import fig12
+
+from conftest import run_and_report
+
+
+def test_fig12(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig12, harness=harness)
+    assert len(report.rows) == 28
+    # paper: avg 6.6x, up to 20.2x (VA_SPMV_MM); reordering only ~2.3%
+    assert 4 < report.headline["antt_improvement_mean"] < 14
+    assert 15 < report.headline["antt_improvement_max"] < 35
+    assert 15 < report.headline["va_spmv_mm_improvement"] < 35
+    assert report.headline["reorder_improvement_mean"] < 1.15

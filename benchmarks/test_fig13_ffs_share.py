@@ -1,0 +1,16 @@
+"""Regenerate Figure 13: FFS weighted GPU shares (28 looping pairs)."""
+
+import statistics
+
+from repro.experiments import fig13
+
+from conftest import run_and_report
+
+
+def test_fig13(benchmark, reports):
+    report = run_and_report(benchmark, reports, fig13)
+    assert len(report.rows) == 28
+    # paper: roughly 2/3 vs 1/3 with narrow error bars
+    assert abs(report.headline["high_share_mean"] - 2 / 3) < 0.05
+    assert abs(report.headline["low_share_mean"] - 1 / 3) < 0.05
+    assert report.headline["high_share_stdev"] < 0.05

@@ -1,0 +1,13 @@
+"""Regenerate Figure 14: FFS throughput degradation (max_overhead 10%)."""
+
+from repro.experiments import fig14
+
+from conftest import run_and_report
+
+
+def test_fig14(benchmark, reports):
+    report = run_and_report(benchmark, reports, fig14)
+    assert len(report.rows) == 28
+    # paper: close to the 10% threshold with small variation
+    assert 0.03 < report.headline["degradation_mean"] < 0.14
+    assert report.headline["degradation_max"] < 0.22

@@ -1,0 +1,14 @@
+"""Regenerate Figure 16: guest speedup from yielding extra SMs."""
+
+from repro.experiments import fig16
+
+from conftest import run_and_report
+
+
+def test_fig16(benchmark, reports):
+    report = run_and_report(benchmark, reports, fig16)
+    # paper: improvement grows with yielded SMs, tops out ~2.22x
+    assert 1.8 < report.headline["speedup_max"] < 3.0
+    for case in {r["case"] for r in report.rows}:
+        curve = [r["speedup"] for r in report.rows if r["case"] == case]
+        assert curve == sorted(curve)  # monotone non-decreasing

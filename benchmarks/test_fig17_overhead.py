@@ -1,0 +1,26 @@
+"""Regenerate Figure 17: FLEP transform vs kernel-slicing overhead."""
+
+from repro.experiments import fig17
+
+from conftest import run_and_report
+
+
+def test_fig17(benchmark, reports):
+    report = run_and_report(benchmark, reports, fig17)
+    assert len(report.rows) == 8
+    # paper: FLEP ~2.5% avg, slicing ~8%; slicing beats FLEP only on VA
+    assert report.headline["flep_overhead_mean"] < 0.045
+    assert (
+        report.headline["slicing_overhead_mean"]
+        > 1.5 * report.headline["flep_overhead_mean"]
+    )
+    assert report.headline["va_slicing_beats_flep"] == 1.0
+    by_bench = {r["benchmark"]: r for r in report.rows}
+    # slicing much worse for the small-L benchmarks
+    for bench in ("CFD", "MD", "SPMV", "MM"):
+        row = by_bench[bench]
+        assert row["slicing_overhead"] > 2 * row["flep_overhead"]
+    # comparable for NN / PF / PL
+    for bench in ("NN", "PF", "PL"):
+        row = by_bench[bench]
+        assert row["slicing_overhead"] < 2 * row["flep_overhead"]

@@ -1,0 +1,13 @@
+"""Regenerate Figure 1: high-priority slowdown under MPS (28 pairs)."""
+
+from repro.experiments import fig1
+
+from conftest import run_and_report
+
+
+def test_fig1(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig1, harness=harness)
+    assert len(report.rows) == 28
+    # paper: up to 32.6x
+    assert 25 < report.headline["slowdown_max"] < 40
+    assert report.headline["slowdown_min"] > 1.0

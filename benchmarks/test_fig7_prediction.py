@@ -1,0 +1,14 @@
+"""Regenerate Figure 7: duration-prediction errors per benchmark."""
+
+from repro.experiments import fig7
+
+from conftest import run_and_report
+
+
+def test_fig7(benchmark, reports):
+    report = run_and_report(benchmark, reports, fig7)
+    # paper: avg 6.9%, range 2.7%-12.2%, SPMV worst
+    assert 0.04 < report.headline["mean_error_mean"] < 0.10
+    assert report.headline["mean_error_min"] < 0.05
+    assert 0.08 < report.headline["mean_error_max"] < 0.20
+    assert report.headline["worst_benchmark_is_spmv"] == 1.0

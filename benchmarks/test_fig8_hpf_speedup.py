@@ -1,0 +1,16 @@
+"""Regenerate Figure 8: high-priority speedup with HPF (28 pairs)."""
+
+from repro.experiments import fig8
+
+from conftest import run_and_report
+
+
+def test_fig8(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig8, harness=harness)
+    assert len(report.rows) == 28
+    # paper: avg 10.1x, max 24.2x (SPMV_NN), min 4.1x
+    assert 7 < report.headline["speedup_mean"] < 16
+    assert 20 < report.headline["speedup_max"] < 40
+    assert 3 < report.headline["speedup_min"] < 7
+    best = max(report.rows, key=lambda r: r["speedup"])
+    assert best["pair"] == "SPMV_NN"

@@ -1,0 +1,15 @@
+"""Regenerate Figure 9: speedup vs invocation delay."""
+
+from repro.experiments import fig9
+
+from conftest import run_and_report
+
+
+def test_fig9(benchmark, reports, harness):
+    report = run_and_report(benchmark, reports, fig9, harness=harness)
+    # per-pair curves decay monotonically (within noise) to a plateau ~1
+    for pair in {r["pair"] for r in report.rows}:
+        curve = [r["speedup"] for r in report.rows if r["pair"] == pair]
+        assert curve[0] == max(curve)
+        assert curve[-1] < 1.3
+    assert abs(report.headline["plateau_speedup"] - 1.0) < 0.2

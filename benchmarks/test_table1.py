@@ -1,0 +1,11 @@
+"""Regenerate Table 1: solo execution times + amortizing factors."""
+
+from repro.experiments import table1
+
+from conftest import run_and_report
+
+
+def test_table1(benchmark, reports):
+    report = run_and_report(benchmark, reports, table1)
+    assert report.headline["amortizing_factors_matched"] == 8.0
+    assert report.headline["max_rel_error_large_small"] < 0.05

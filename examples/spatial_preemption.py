@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Spatial preemption in detail (§6.4, Figures 15 and 16).
+
+A CFD batch job holds all 15 SMs when a micro kernel (16 CTAs) arrives
+with high priority. We show:
+
+  1. temporal vs spatial preemption cost for the batch job,
+  2. the Figure-16 trade-off: yielding more SMs than the guest strictly
+     needs speeds the guest up (less intra-SM contention) but preempts
+     more of the victim.
+
+Run:  python examples/spatial_preemption.py
+"""
+
+from repro import FlepSystem, RuntimeConfig
+from repro.baselines import MPSCoRun
+from repro.workloads import standard_suite
+from repro.workloads.specs import InputSpec
+
+GUEST, VICTIM = "NN", "CFD"
+GUEST_CTAS = 16          # 2 SMs at 8 CTAs/SM
+GUEST_CTA_US = 200.0     # long enough that contention dominates
+
+
+def micro_input(suite):
+    kspec = suite[GUEST]
+    return InputSpec(
+        name="micro",
+        size=GUEST_CTAS * kspec.work_per_task,
+        tasks=GUEST_CTAS,
+        task_scale=GUEST_CTA_US / kspec.task_time_us,
+    )
+
+
+def run(suite, spatial: bool, force_width=None):
+    config = RuntimeConfig(
+        spatial_enabled=spatial, spatial_force_sms=force_width
+    )
+    system = FlepSystem(policy="hpf", suite=suite, config=config)
+    system.submit_at(0.0, "batch", VICTIM, "large", priority=0)
+    inp = micro_input(suite)
+    system.sim.schedule_at(
+        500.0,
+        lambda: system.runtime.submit("guest", GUEST, priority=1, inp=inp),
+    )
+    result = system.run()
+    guest = result.by_process("guest")[0]
+    batch = result.by_process("batch")[0]
+    dispatch = min(
+        g.first_dispatch_at for g in guest.grids
+        if g.first_dispatch_at is not None
+    )
+    return {
+        "guest_exec_us": guest.record.finished_at - dispatch,
+        "batch_done_us": batch.record.finished_at,
+        "makespan_us": result.makespan_us,
+    }
+
+
+def main() -> None:
+    suite = standard_suite()
+
+    # reference: both under plain MPS (guest waits politely)
+    mps = MPSCoRun(suite=suite)
+    mps.submit_at(0.0, "batch", VICTIM, "large")
+    mps.run()
+    t_org = mps.sim.now
+
+    temporal = run(suite, spatial=False)
+    spatial = run(suite, spatial=True)
+
+    print(f"victim = {VICTIM}[large] (~11.1 ms alone), guest = {GUEST} "
+          f"micro kernel ({GUEST_CTAS} CTAs, needs 2 SMs)\n")
+    print(f"{'mode':12s} {'guest exec':>12s} {'batch done':>12s}")
+    print(f"{'temporal':12s} {temporal['guest_exec_us']:>10.0f}us "
+          f"{temporal['batch_done_us'] / 1000:>10.2f}ms   "
+          f"(whole GPU yielded; 13 SMs idle under the guest)")
+    print(f"{'spatial':12s} {spatial['guest_exec_us']:>10.0f}us "
+          f"{spatial['batch_done_us'] / 1000:>10.2f}ms   "
+          f"(victim keeps running on the other SMs)")
+
+    ovh_t = temporal["makespan_us"] - t_org
+    ovh_s = spatial["makespan_us"] - t_org
+    print(f"\npreemption overhead vs solo batch run: "
+          f"temporal +{ovh_t:.0f}us, spatial +{ovh_s:.0f}us "
+          f"({1 - ovh_s / ovh_t:.0%} reduction; Figure 15 reports up to 41%)")
+
+    print("\nFigure 16 sweep: yield width vs guest execution time")
+    base = None
+    for width in (2, 4, 6, 8, 10, 12):
+        r = run(suite, spatial=True, force_width=width)
+        base = base or r["guest_exec_us"]
+        print(f"  {width:>2d} SMs yielded: guest {r['guest_exec_us']:>7.0f}us"
+              f"  (speedup {base / r['guest_exec_us']:.2f}x, "
+              f"batch done {r['batch_done_us'] / 1000:.2f}ms)")
+    print("\nthe paper's largest observed speedup was ~2.22x — yielding"
+          "\nmore SMs helps the guest but costs the victim more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""FLEP: Enabling Flexible and Efficient Preemption on GPUs (ASPLOS'17)
+— a full reproduction on a discrete-event GPU simulator.
+
+Subpackages
+-----------
+``repro.gpu``
+    The substrate: a K40-class simulated GPU (SM occupancy, the
+    non-preemptive hardware CTA FIFO, MPS streams, pinned-memory flag
+    polling, launch overheads, PCIe DMA).
+``repro.compiler``
+    The offline phase: a CUDA-C-subset source-to-source compiler
+    implementing the Figure-4 kernel transforms and the Figure-5 host
+    transform, plus PTX resource scanning, occupancy analysis, and
+    amortizing-factor tuning.
+``repro.runtime``
+    The online phase: invocation interception, ridge-regression duration
+    models, (T_e, T_w, T_r) tracking, preemption-overhead estimation.
+``repro.core``
+    The system tied together: the :class:`FlepSystem` facade and the
+    scheduling policies (HPF, FFS, plus FIFO/reordering controls).
+``repro.baselines``
+    What the paper compares against: plain MPS co-runs, kernel slicing,
+    kernel reordering.
+``repro.workloads``
+    The eight benchmarks calibrated to Table 1.
+``repro.experiments``
+    One module per evaluation table/figure.
+
+Quickstart
+----------
+>>> from repro import FlepSystem
+>>> system = FlepSystem(policy="hpf")
+>>> system.submit_at(0.0, "batch", "NN", "large", priority=0)
+>>> system.submit_at(10.0, "query", "SPMV", "small", priority=1)
+>>> result = system.run()
+>>> result.all_finished
+True
+"""
+
+from .core.flep import CoRunResult, FlepSystem
+from .core.policies import FFSPolicy, FIFOPolicy, HPFPolicy, ReorderPolicy
+from .errors import (
+    CompilationError,
+    ExperimentError,
+    ParseError,
+    ReproError,
+    RuntimeEngineError,
+    SimulationError,
+    TransformError,
+    WorkloadError,
+)
+from .gpu.device import GPUDeviceSpec, small_test_gpu, tesla_k40
+from .runtime.engine import RuntimeConfig
+from .workloads.benchmarks import BenchmarkSuite, standard_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoRunResult",
+    "FlepSystem",
+    "FFSPolicy",
+    "FIFOPolicy",
+    "HPFPolicy",
+    "ReorderPolicy",
+    "CompilationError",
+    "ExperimentError",
+    "ParseError",
+    "ReproError",
+    "RuntimeEngineError",
+    "SimulationError",
+    "TransformError",
+    "WorkloadError",
+    "GPUDeviceSpec",
+    "small_test_gpu",
+    "tesla_k40",
+    "RuntimeConfig",
+    "BenchmarkSuite",
+    "standard_suite",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against: plain MPS co-runs, kernel
+slicing, and non-preemptive kernel reordering."""
+
+from .mps_corun import (
+    BaselineInvocation,
+    BaselineResult,
+    MPSCoRun,
+    solo_exec_us,
+)
+from .reordering import ReorderingCoRun
+from .slicing import (
+    SlicedKernelRun,
+    SlicedRunResult,
+    default_slice_tasks,
+    flep_equivalent_slice_tasks,
+    sliced_solo_exec_us,
+)
+
+__all__ = [
+    "BaselineInvocation",
+    "BaselineResult",
+    "MPSCoRun",
+    "solo_exec_us",
+    "ReorderingCoRun",
+    "SlicedKernelRun",
+    "SlicedRunResult",
+    "default_slice_tasks",
+    "flep_equivalent_slice_tasks",
+    "sliced_solo_exec_us",
+]

@@ -1,0 +1,191 @@
+"""Kernel-slicing baseline (GPES/RGEM/PKM style; §2.2, §6.5, §8).
+
+The original kernel is split into sub-kernels, each launching a bounded
+number of CTAs; the GPU can be preempted at slice boundaries because the
+CPU checks for preemption requests between slice launches. Two costs
+follow, both reproduced here:
+
+* **Per-slice boundary overhead** even when never preempted: the slices
+  launch back-to-back through one stream, so each boundary costs the
+  pipelined dispatch gap (``slice_gap_us``) rather than a full
+  synchronous launch — but that gap is pure loss (Figure 17).
+* **Granularity dilemma**: finer slices mean lower preemption latency
+  but more boundaries (§2.2's "over 10 % overhead" at the 120-CTA
+  granularity the Kepler GPU can host at once).
+
+:func:`flep_equivalent_slice_tasks` sizes slices so slicing matches the
+FLEP-transformed kernel's preemption latency, which is the §6.5
+comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ExperimentError, WorkloadError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..gpu.gpu import SimulatedGPU
+from ..gpu.kernel import LaunchConfig
+from ..gpu.occupancy import active_slots
+from ..gpu.sim import Simulator
+from ..workloads.benchmarks import BenchmarkSuite, standard_suite
+from ..workloads.specs import InputSpec, KernelSpec
+
+
+def flep_equivalent_slice_tasks(
+    kspec: KernelSpec,
+    amortize_l: int,
+    device: Optional[GPUDeviceSpec] = None,
+) -> int:
+    """Slice size (in tasks) whose preemption latency matches a FLEP
+    kernel with amortizing factor ``L``: one slice = ``L`` waves of the
+    device's active CTAs."""
+    device = device or tesla_k40()
+    return amortize_l * active_slots(device, kspec.resources)
+
+
+def default_slice_tasks(
+    kspec: KernelSpec, device: Optional[GPUDeviceSpec] = None
+) -> int:
+    """§2.2's naive granularity: each sub-kernel launches exactly the
+    CTAs the GPU can host at once (one wave)."""
+    device = device or tesla_k40()
+    return active_slots(device, kspec.resources)
+
+
+@dataclass
+class SlicedRunResult:
+    kernel: str
+    input_name: str
+    slices: int
+    started_at: float
+    finished_at: Optional[float] = None
+    preempted_after_slice: Optional[int] = None
+    slice_finish_times: List[float] = field(default_factory=list)
+
+    @property
+    def turnaround_us(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class SlicedKernelRun:
+    """Execute one kernel as a chain of slices on a device.
+
+    Between slices, the CPU checks ``preempt_requested``; if set, the
+    remaining slices are withheld until :meth:`resume` — this is the
+    slicing approach's (whole-GPU-only) preemption."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu: SimulatedGPU,
+        kspec: KernelSpec,
+        inp: InputSpec,
+        slice_tasks: int,
+        on_done=None,
+    ):
+        if slice_tasks < 1:
+            raise WorkloadError("slice size must be at least one task")
+        self.sim = sim
+        self.gpu = gpu
+        self.kspec = kspec
+        self.inp = inp
+        self.image = kspec.original_image(inp)
+        self.slice_tasks = slice_tasks
+        self.remaining = inp.tasks
+        self.preempt_requested = False
+        self.on_done = on_done
+        self.result = SlicedRunResult(
+            kernel=kspec.name,
+            input_name=inp.name,
+            slices=math.ceil(inp.tasks / slice_tasks),
+            started_at=sim.now,
+        )
+        self._slices_done = 0
+        self._first_slice = True
+        self._paused = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._launch_next()
+
+    def preempt(self) -> None:
+        """Request a whole-GPU preemption at the next slice boundary."""
+        self.preempt_requested = True
+
+    def resume(self) -> None:
+        if not self._paused:
+            raise ExperimentError("resume() without a pending preemption")
+        self.preempt_requested = False
+        self._paused = False
+        self._first_slice = True  # resuming pays a full launch again
+        self._launch_next()
+
+    @property
+    def finished(self) -> bool:
+        return self.result.finished_at is not None
+
+    # ------------------------------------------------------------------
+    def _launch_next(self) -> None:
+        if self.remaining <= 0:
+            self.result.finished_at = self.sim.now
+            if self.on_done:
+                self.on_done(self)
+            return
+        if self.preempt_requested:
+            self._paused = True
+            self.result.preempted_after_slice = self._slices_done
+            return
+        tasks = min(self.slice_tasks, self.remaining)
+        self.remaining -= tasks
+        overhead = (
+            self.gpu.spec.costs.kernel_launch_us
+            if self._first_slice
+            else self.gpu.spec.costs.slice_gap_us
+        )
+        self._first_slice = False
+        self.gpu.launch(
+            self.image,
+            LaunchConfig.original(tasks),
+            tag={"slice_of": self.kspec.name},
+            on_complete=self._slice_done,
+            launch_overhead_us=overhead,
+        )
+
+    def _slice_done(self, grid) -> None:
+        self._slices_done += 1
+        self.result.slice_finish_times.append(self.sim.now)
+        self._launch_next()
+
+
+def sliced_solo_exec_us(
+    kernel: str,
+    input_name: str,
+    slice_tasks: Optional[int] = None,
+    device: Optional[GPUDeviceSpec] = None,
+    suite: Optional[BenchmarkSuite] = None,
+    amortize_l: Optional[int] = None,
+) -> float:
+    """Solo execution time of the sliced kernel (Figure 17's slicing
+    bars). When ``slice_tasks`` is None, slices are sized to match the
+    FLEP kernel's preemption granularity (requires ``amortize_l``)."""
+    device = device or tesla_k40()
+    suite = suite or standard_suite(device)
+    kspec = suite[kernel]
+    inp = kspec.input(input_name)
+    if slice_tasks is None:
+        if amortize_l is None:
+            amortize_l = suite.amortize_l(kernel)
+        slice_tasks = flep_equivalent_slice_tasks(kspec, amortize_l, device)
+    sim = Simulator()
+    gpu = SimulatedGPU(sim, device)
+    run = SlicedKernelRun(sim, gpu, kspec, inp, slice_tasks)
+    run.start()
+    sim.run()
+    if not run.finished:
+        raise ExperimentError(f"sliced run of {kernel} did not finish")
+    return run.result.turnaround_us

@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+    flep list                      # enumerate the experiments
+    flep run fig8 [fig10 ...]      # regenerate specific tables/figures
+    flep run all                   # the whole evaluation section
+    flep compile VA                # show a benchmark's transformed source
+    flep tune NN                   # run the offline amortizing-factor tuner
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_list(args) -> int:
+    """List the available experiments."""
+    from .experiments import EXPERIMENTS
+
+    print("available experiments (paper table/figure -> module):")
+    for name, module in EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import EXPERIMENTS
+
+    names: List[str] = args.experiments
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name].run()
+        print(report.format())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .compiler import CompilationEngine
+
+    engine = CompilationEngine()
+    program = engine.compile_benchmark(args.benchmark)
+    if args.ptx:
+        for info in program.kernels.values():
+            print(info.ptx)
+    else:
+        print(program.transformed_source)
+    for name, info in program.kernels.items():
+        print(
+            f"// kernel {name}: {info.occupancy.resources.regs_per_thread} "
+            f"regs/thread, {info.occupancy.resources.shared_mem_per_cta} B "
+            f"shared, {info.occupancy.max_ctas_per_sm} CTAs/SM, "
+            f"persistent grid = {info.occupancy.persistent_grid_ctas} CTAs",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core.flep import FlepSystem
+
+    system = FlepSystem(policy=args.policy, trace=True)
+    system.submit_at(0.0, f"low_{args.low}", args.low, "large", priority=0)
+    system.submit_at(
+        args.delay, f"high_{args.high}", args.high, args.input, priority=1
+    )
+    result = system.run()
+    print("=== scheduler decision journal ===")
+    print(system.runtime.journal.format())
+    print()
+    print("=== SM timeline (ASCII Gantt) ===")
+    bucket = max(50.0, result.makespan_us / 120.0)
+    print(system.timeline.render_ascii(
+        system.device.num_sms, bucket_us=bucket
+    ))
+    print()
+    for inv in result.invocations:
+        r = inv.record
+        print(
+            f"{inv.kspec.name}[{inv.inp.name}]@{inv.process}: "
+            f"turnaround={r.turnaround_us:.0f}us, waited={r.waited_us:.0f}us, "
+            f"preemptions={r.preemptions}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.summary import write_report
+
+    only = args.experiments or None
+    reports = write_report(args.output, only=only)
+    print(f"wrote {args.output} ({len(reports)} experiments)")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .compiler import tune_amortizing_factor
+    from .workloads import TABLE1, standard_suite
+
+    suite = standard_suite()
+    names = [args.benchmark] if args.benchmark != "all" else list(TABLE1)
+    for name in names:
+        result = tune_amortizing_factor(suite[name])
+        print(f"{name}: chosen L = {result.chosen_l} "
+              f"(paper: {TABLE1[name].amortize_l})")
+        for l, ovh in result.trials:
+            print(f"    L={l:<5d} overhead={ovh:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `flep` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="flep",
+        description=(
+            "FLEP reproduction (ASPLOS 2017): flexible and efficient "
+            "GPU preemption on a discrete-event simulator"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="regenerate tables/figures")
+    run_p.add_argument("experiments", nargs="+",
+                       help="experiment ids (or 'all')")
+    run_p.set_defaults(fn=_cmd_run)
+
+    comp_p = sub.add_parser("compile", help="show transformed source")
+    comp_p.add_argument("benchmark", help="benchmark name, e.g. VA")
+    comp_p.add_argument("--ptx", action="store_true",
+                        help="print the toy PTX instead")
+    comp_p.set_defaults(fn=_cmd_compile)
+
+    tune_p = sub.add_parser("tune", help="offline amortizing-factor tuning")
+    tune_p.add_argument("benchmark", help="benchmark name or 'all'")
+    tune_p.set_defaults(fn=_cmd_tune)
+
+    rep_p = sub.add_parser(
+        "report", help="regenerate all results into a markdown file"
+    )
+    rep_p.add_argument("-o", "--output", default="results.md")
+    rep_p.add_argument("experiments", nargs="*",
+                       help="subset of experiment ids (default: all)")
+    rep_p.set_defaults(fn=_cmd_report)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one co-run and print the decision journal + SM Gantt",
+    )
+    trace_p.add_argument("--low", default="NN",
+                         help="low-priority kernel (large input)")
+    trace_p.add_argument("--high", default="SPMV",
+                         help="high-priority kernel")
+    trace_p.add_argument("--input", default="small",
+                         help="high-priority input (small/trivial)")
+    trace_p.add_argument("--delay", type=float, default=10.0,
+                         help="high-priority arrival time (us)")
+    trace_p.add_argument("--policy", default="hpf")
+    trace_p.set_defaults(fn=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        from .errors import ReproError
+
+        if isinstance(exc, ReproError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

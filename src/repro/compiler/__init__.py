@@ -1,0 +1,71 @@
+"""FLEP's offline phase: the source-to-source compilation engine.
+
+A from-scratch CUDA-C-subset frontend (lexer/parser/AST), the three
+Figure-4 kernel transforms, the Figure-5 host transform, toy PTX
+emission with the §4.1 resource linear-scan, occupancy analysis, and
+the offline amortizing-factor tuner.
+"""
+
+from .ast import Function, TranslationUnit
+from .codegen import emit, emit_function, emit_unit
+from .engine import CompilationEngine, CompiledProgram, KernelBuildInfo
+from .host_transform import (
+    RUNTIME_PREAMBLE,
+    HostTransformResult,
+    make_wrapper,
+    transform_host,
+)
+from .lexer import Token, TokType, tokenize
+from .occupancy import KernelOccupancy, analyze_kernel
+from .parser import parse, parse_expression
+from .ptx import (
+    KernelResources,
+    emit_ptx,
+    estimate_resources,
+    scan_resources,
+)
+from .transforms import (
+    RESERVED,
+    TransformKind,
+    TransformedKernel,
+    transform_all,
+    transform_kernel,
+)
+from .tuning import TuningResult, tune_amortizing_factor
+from .validate import ValidationReport, assert_valid, validate_kernel
+
+__all__ = [
+    "Function",
+    "TranslationUnit",
+    "emit",
+    "emit_function",
+    "emit_unit",
+    "CompilationEngine",
+    "CompiledProgram",
+    "KernelBuildInfo",
+    "RUNTIME_PREAMBLE",
+    "HostTransformResult",
+    "make_wrapper",
+    "transform_host",
+    "Token",
+    "TokType",
+    "tokenize",
+    "KernelOccupancy",
+    "analyze_kernel",
+    "parse",
+    "parse_expression",
+    "KernelResources",
+    "emit_ptx",
+    "estimate_resources",
+    "scan_resources",
+    "RESERVED",
+    "TransformKind",
+    "TransformedKernel",
+    "transform_all",
+    "transform_kernel",
+    "TuningResult",
+    "tune_amortizing_factor",
+    "ValidationReport",
+    "assert_valid",
+    "validate_kernel",
+]

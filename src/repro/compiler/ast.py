@@ -1,0 +1,233 @@
+"""AST for the CUDA-C subset.
+
+Nodes carry just enough structure for the FLEP transforms: function
+qualifiers (so ``__global__`` kernels are identifiable), parameter
+lists, statement trees, and a generic expression representation. The
+printer in :mod:`repro.compiler.codegen` reconstructs compilable-looking
+source from these nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Literal(Expr):
+    value: str           # verbatim lexeme (e.g. "0.5f", "'x'", '"s"')
+
+
+@dataclass
+class Unary(Expr):
+    op: str              # "-", "!", "~", "*", "&", "++", "--"
+    operand: Expr
+    prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str              # "=", "+=", ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    member: str
+    arrow: bool = False  # True for '->'
+
+
+@dataclass
+class Cast(Expr):
+    type_name: str
+    operand: Expr
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Declarator:
+    """One declared entity: name, pointer stars, array extents, init."""
+
+    name: str
+    pointer: int = 0
+    array_dims: List[Expr] = field(default_factory=list)
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Decl(Stmt):
+    """A declaration statement: qualifiers + base type + declarators."""
+
+    qualifiers: List[str]        # const/volatile/__shared__/...
+    base_type: str               # "unsigned int", "float", "dim3", ...
+    declarators: List[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]         # None for the empty statement ';'
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]         # Decl or ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class KernelLaunch(Stmt):
+    """A CUDA triple-chevron launch: ``name<<<grid, block, ...>>>(args);``"""
+
+    kernel: str
+    grid: Expr
+    block: Expr
+    shared_mem: Optional[Expr] = None
+    stream: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Raw(Stmt):
+    """Verbatim text preserved as-is (preprocessor lines, asm, ...)."""
+
+    text: str
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    qualifiers: List[str]
+    base_type: str
+    name: str
+    pointer: int = 0
+
+    def render_type(self) -> str:
+        quals = " ".join(self.qualifiers)
+        stars = "*" * self.pointer
+        parts = [p for p in (quals, self.base_type, stars) if p]
+        return " ".join(parts)
+
+
+@dataclass
+class Function:
+    qualifiers: List[str]        # __global__ / __device__ / __host__ / ...
+    return_type: str
+    name: str
+    params: List[Param]
+    body: Block
+
+    @property
+    def is_kernel(self) -> bool:
+        return "__global__" in self.qualifiers
+
+
+@dataclass
+class TranslationUnit:
+    """A whole source file: functions and verbatim top-level chunks."""
+
+    items: List[Union[Function, Raw, Decl]] = field(default_factory=list)
+
+    def kernels(self) -> List[Function]:
+        return [
+            f for f in self.items if isinstance(f, Function) and f.is_kernel
+        ]
+
+    def functions(self) -> List[Function]:
+        return [f for f in self.items if isinstance(f, Function)]
+
+    def function(self, name: str) -> Optional[Function]:
+        for f in self.functions():
+            if f.name == name:
+                return f
+        return None

@@ -1,0 +1,211 @@
+"""Source emission: AST -> CUDA-C text.
+
+The FLEP compiler is source-to-source (§4.1: Clang LibTooling emitting
+code that NVCC then compiles); this printer produces the transformed
+program text. It is also the round-trip partner of the parser in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CompilationError
+from . import ast
+
+INDENT = "    "
+
+
+def emit(node) -> str:
+    """Emit source text for any AST node."""
+    if isinstance(node, ast.TranslationUnit):
+        return emit_unit(node)
+    if isinstance(node, ast.Function):
+        return emit_function(node)
+    if isinstance(node, ast.Stmt):
+        return "\n".join(_stmt(node, 0))
+    if isinstance(node, ast.Expr):
+        return _expr(node)
+    raise CompilationError(f"cannot emit {type(node).__name__}")
+
+
+def emit_unit(unit: ast.TranslationUnit) -> str:
+    """Emit a whole translation unit as source text."""
+    chunks: List[str] = []
+    for item in unit.items:
+        if isinstance(item, ast.Function):
+            chunks.append(emit_function(item))
+        elif isinstance(item, ast.Raw):
+            chunks.append(item.text)
+        elif isinstance(item, ast.Decl):
+            chunks.append("\n".join(_stmt(item, 0)))
+        else:  # pragma: no cover - exhaustive
+            raise CompilationError(f"unknown top-level item {item!r}")
+    return "\n\n".join(chunks) + "\n"
+
+
+def emit_function(fn: ast.Function) -> str:
+    """Emit one function definition (or prototype) as source text."""
+    quals = " ".join(fn.qualifiers)
+    head = " ".join(p for p in (quals, fn.return_type) if p)
+    params = ", ".join(_param(p) for p in fn.params)
+    if _is_prototype(fn):
+        return f"{head} {fn.name}({params});"
+    body = "\n".join(_stmt(fn.body, 0))
+    return f"{head} {fn.name}({params})\n{body}"
+
+
+def _is_prototype(fn: ast.Function) -> bool:
+    return (
+        len(fn.body.body) == 1
+        and isinstance(fn.body.body[0], ast.Raw)
+        and fn.body.body[0].text == "__flep_prototype__"
+    )
+
+
+def _param(p: ast.Param) -> str:
+    t = p.render_type()
+    return f"{t} {p.name}".strip() if p.name else t
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+def _stmt(node: ast.Stmt, depth: int) -> List[str]:
+    pad = INDENT * depth
+    if isinstance(node, ast.Block):
+        lines = [pad + "{"]
+        for child in node.body:
+            lines.extend(_stmt(child, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(node, ast.Decl):
+        quals = " ".join(node.qualifiers)
+        head = " ".join(p for p in (quals, node.base_type) if p)
+        decls = ", ".join(_declarator(d) for d in node.declarators)
+        return [f"{pad}{head} {decls};"]
+    if isinstance(node, ast.ExprStmt):
+        return [pad + (";" if node.expr is None else _expr(node.expr) + ";")]
+    if isinstance(node, ast.If):
+        lines = [f"{pad}if ({_expr(node.cond)})"]
+        lines.extend(_stmt_as_body(node.then, depth))
+        if node.other is not None:
+            lines.append(pad + "else")
+            lines.extend(_stmt_as_body(node.other, depth))
+        return lines
+    if isinstance(node, ast.While):
+        lines = [f"{pad}while ({_expr(node.cond)})"]
+        lines.extend(_stmt_as_body(node.body, depth))
+        return lines
+    if isinstance(node, ast.DoWhile):
+        lines = [pad + "do"]
+        lines.extend(_stmt_as_body(node.body, depth))
+        lines.append(f"{pad}while ({_expr(node.cond)});")
+        return lines
+    if isinstance(node, ast.For):
+        init = ""
+        if isinstance(node.init, ast.Decl):
+            init = _stmt(node.init, 0)[0].rstrip(";")
+        elif isinstance(node.init, ast.ExprStmt) and node.init.expr is not None:
+            init = _expr(node.init.expr)
+        cond = _expr(node.cond) if node.cond is not None else ""
+        step = _expr(node.step) if node.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step})"]
+        lines.extend(_stmt_as_body(node.body, depth))
+        return lines
+    if isinstance(node, ast.Return):
+        if node.value is None:
+            return [pad + "return;"]
+        return [f"{pad}return {_expr(node.value)};"]
+    if isinstance(node, ast.Break):
+        return [pad + "break;"]
+    if isinstance(node, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(node, ast.KernelLaunch):
+        cfg = [_expr(node.grid), _expr(node.block)]
+        if node.shared_mem is not None:
+            cfg.append(_expr(node.shared_mem))
+        if node.stream is not None:
+            cfg.append(_expr(node.stream))
+        args = ", ".join(_expr(a) for a in node.args)
+        return [f"{pad}{node.kernel}<<<{', '.join(cfg)}>>>({args});"]
+    if isinstance(node, ast.Raw):
+        return [pad + line for line in node.text.splitlines()] or [pad]
+    raise CompilationError(f"cannot emit statement {type(node).__name__}")
+
+
+def _stmt_as_body(node: ast.Stmt, depth: int) -> List[str]:
+    """Emit a statement as the body of if/while/for — blocks stay at the
+    same depth; single statements are indented one level."""
+    if isinstance(node, ast.Block):
+        return _stmt(node, depth)
+    return _stmt(node, depth + 1)
+
+
+def _declarator(d: ast.Declarator) -> str:
+    text = "*" * d.pointer + d.name
+    for dim in d.array_dims:
+        text += f"[{_expr(dim)}]"
+    if d.init is not None:
+        text += f" = {_expr(d.init)}"
+    return text
+
+
+# ----------------------------------------------------------------------
+# expressions (parenthesize conservatively but readably)
+# ----------------------------------------------------------------------
+_PREC = {
+    ",": 0, "=": 1,
+    "||": 2, "&&": 3, "|": 4, "^": 5, "&": 6,
+    "==": 7, "!=": 7,
+    "<": 8, ">": 8, "<=": 8, ">=": 8,
+    "<<": 9, ">>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "%": 11,
+}
+
+
+def _expr(node: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(node, ast.Name):
+        return node.ident
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.Unary):
+        inner = _expr(node.operand, 12)
+        if not node.prefix:
+            text = f"{inner}{node.op}"
+            return f"({text})" if parent_prec > 13 else text
+        # avoid token merging: "-(-a)" must not print as "--a"
+        if inner and inner[0] in "+-*&" and (
+            node.op[-1] == inner[0] or node.op in ("++", "--")
+        ):
+            inner = f"({inner})"
+        text = f"{node.op}{inner}"
+        # prefix unary binds looser than postfix: "(-a)[i]" needs parens
+        return f"({text})" if parent_prec > 12 else text
+    if isinstance(node, ast.Binary):
+        prec = _PREC.get(node.op, 1)
+        text = (
+            f"{_expr(node.left, prec)} {node.op} {_expr(node.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(node, ast.Assign):
+        text = f"{_expr(node.target, 2)} {node.op} {_expr(node.value, 1)}"
+        return f"({text})" if parent_prec > 1 else text
+    if isinstance(node, ast.Ternary):
+        text = (
+            f"{_expr(node.cond, 3)} ? {_expr(node.then)} : {_expr(node.other)}"
+        )
+        # ternary binds looser than every binary operator: parenthesize
+        # whenever it appears as a binary/unary operand (prec >= 2)
+        return f"({text})" if parent_prec >= 2 else text
+    if isinstance(node, ast.Call):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{_expr(node.func, 13)}({args})"
+    if isinstance(node, ast.Index):
+        return f"{_expr(node.base, 13)}[{_expr(node.index)}]"
+    if isinstance(node, ast.Member):
+        sep = "->" if node.arrow else "."
+        return f"{_expr(node.base, 13)}{sep}{node.member}"
+    if isinstance(node, ast.Cast):
+        return f"({node.type_name}){_expr(node.operand, 12)}"
+    raise CompilationError(f"cannot emit expression {type(node).__name__}")

@@ -1,0 +1,154 @@
+"""The CPU-code transform (Figure 5).
+
+The FLEP compiler rewrites every triple-chevron launch in the host code
+into a call to a generated wrapper. The wrapper implements the
+three-state machine:
+
+* **S1 -> S2**: instead of launching, send the kernel's name and
+  configuration to the FLEP runtime and wait for a scheduling decision.
+* **S2 -> S3**: when the runtime signals "go", launch the *transformed*
+  kernel with the runtime-owned flag/counter appended to its arguments.
+* **S3**: wait; if the kernel finishes, return to S1. If the runtime
+  sends a preemption signal, write the shared flag (the wrapper calls
+  ``flep_runtime_ack_preempt``, which performs the pinned-memory write)
+  and go back to S2 for rescheduling.
+
+The generated code targets the FLEP runtime's C API (declared in the
+emitted preamble); in this reproduction that API is *implemented* by
+:class:`repro.runtime.engine.FlepRuntime` on the simulator.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import TransformError
+from . import ast
+from .transforms import TransformedKernel
+
+#: Declarations of the runtime API the generated wrappers call.
+RUNTIME_PREAMBLE = """\
+/* ---- FLEP runtime API (provided by libflep_runtime) ---------------- */
+typedef unsigned int flep_handle_t;
+extern flep_handle_t flep_runtime_submit(const char *name,
+                                         unsigned int grid,
+                                         unsigned int block,
+                                         unsigned int shared_mem);
+extern int flep_runtime_wait(flep_handle_t h);        /* S2: block for a decision */
+extern unsigned int flep_runtime_grid(flep_handle_t h);   /* clamped persistent grid */
+extern volatile unsigned int *flep_runtime_flag(flep_handle_t h);
+extern unsigned int *flep_runtime_counter(flep_handle_t h);
+extern unsigned int flep_runtime_amortize(flep_handle_t h);
+extern int flep_runtime_sync(flep_handle_t h);        /* S3: finished or preempt signal */
+extern void flep_runtime_ack_preempt(flep_handle_t h); /* write temp_P / spa_P */
+extern void flep_runtime_complete(flep_handle_t h);
+/* flep_runtime_wait / flep_runtime_sync return codes */
+/* 1 = run, 0 = done */
+/* 2 = kernel finished, 3 = preemption signal */
+"""
+
+
+@dataclass
+class HostTransformResult:
+    """Transformed host code plus generated wrappers."""
+
+    wrappers: List[ast.Function] = field(default_factory=list)
+    rewritten_launches: int = 0
+
+
+def make_wrapper(
+    kernel: ast.Function, transformed: TransformedKernel
+) -> ast.Function:
+    """Generate ``flep_invoke_<kernel>`` implementing Figure 5."""
+    params = [
+        ast.Param([], "unsigned int", "flep_grid"),
+        ast.Param([], "unsigned int", "flep_block"),
+    ] + copy.deepcopy(kernel.params)
+
+    orig_args = ", ".join(p.name for p in kernel.params)
+    extra_args = (
+        "flep_runtime_flag(flep_h), "
+        "flep_runtime_amortize(flep_h), "
+        "flep_runtime_counter(flep_h), flep_grid"
+    )
+    body_src = f"""\
+unsigned int flep_h = flep_runtime_submit("{kernel.name}", flep_grid, flep_block, 0u);
+while (1) {{
+    int flep_decision = flep_runtime_wait(flep_h);
+    if (flep_decision == 0) {{
+        break;
+    }}
+    {transformed.name}<<<flep_runtime_grid(flep_h), flep_block>>>({orig_args}{', ' if orig_args else ''}{extra_args});
+    int flep_event = flep_runtime_sync(flep_h);
+    if (flep_event == 2) {{
+        flep_runtime_complete(flep_h);
+        break;
+    }}
+    flep_runtime_ack_preempt(flep_h);
+}}
+"""
+    from .parser import parse  # local import to avoid cycle at module load
+
+    unit = parse(
+        "void __wrapper__(" + ", ".join(
+            f"{p.render_type()} {p.name}" for p in params
+        ) + ") {\n" + body_src + "\n}"
+    )
+    fn = unit.function("__wrapper__")
+    if fn is None:  # pragma: no cover
+        raise TransformError("wrapper generation failed to parse")
+    fn.name = f"flep_invoke_{kernel.name}"
+    return fn
+
+
+def rewrite_launches(
+    node, wrappers: Dict[str, str], counter: List[int]
+):
+    """Replace ``k<<<g,b>>>(args)`` with ``flep_invoke_k(g, b, args)``."""
+    if isinstance(node, ast.KernelLaunch) and node.kernel in wrappers:
+        counter[0] += 1
+        call = ast.Call(
+            ast.Name(wrappers[node.kernel]),
+            [node.grid, node.block] + list(node.args),
+        )
+        return ast.ExprStmt(call)
+    for field_name, value in list(vars(node).items()):
+        if isinstance(value, (ast.Expr, ast.Stmt)):
+            setattr(node, field_name, rewrite_launches(value, wrappers, counter))
+        elif isinstance(value, list):
+            setattr(
+                node,
+                field_name,
+                [
+                    rewrite_launches(v, wrappers, counter)
+                    if isinstance(v, (ast.Expr, ast.Stmt))
+                    else v
+                    for v in value
+                ],
+            )
+    return node
+
+
+def transform_host(
+    unit: ast.TranslationUnit,
+    transformed: Dict[str, TransformedKernel],
+) -> HostTransformResult:
+    """Rewrite all launches of the given kernels, in place, and build
+    their Figure-5 wrappers."""
+    result = HostTransformResult()
+    wrapper_names = {
+        k: f"flep_invoke_{k}" for k in transformed
+    }
+    counter = [0]
+    for item in unit.items:
+        if isinstance(item, ast.Function) and not item.is_kernel:
+            rewrite_launches(item.body, wrapper_names, counter)
+    result.rewritten_launches = counter[0]
+    for name, tk in transformed.items():
+        kernel = unit.function(name)
+        if kernel is None:
+            raise TransformError(f"kernel {name} not found in unit")
+        result.wrappers.append(make_wrapper(kernel, tk))
+    return result

@@ -1,0 +1,228 @@
+"""Lexer for the CUDA-C subset accepted by the FLEP compiler frontend.
+
+The real FLEP uses Clang LibTooling's CUDA frontend; we implement a
+small, honest tokenizer covering what the eight benchmark kernels and
+their host launch code need: C operators (including ``<<<`` / ``>>>``
+launch brackets), identifiers, numeric/char/string literals, comments
+and preprocessor lines (kept as opaque tokens).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+
+class TokType(enum.Enum):
+    """Token categories produced by :func:`tokenize`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    PREPROC = "preproc"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokType
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type is TokType.PUNCT and self.value in values
+
+    def is_ident(self, *values: str) -> bool:
+        return self.type is TokType.IDENT and (
+            not values or self.value in values
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r}, L{self.line})"
+
+
+#: Multi-character punctuators, longest first (so maximal munch works).
+_PUNCTUATORS = [
+    "<<<", ">>>",
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+KEYWORDS = frozenset(
+    """
+    void int unsigned signed long short char float double bool
+    const volatile static extern struct enum union typedef sizeof
+    if else for while do return break continue switch case default
+    goto inline restrict
+    __global__ __device__ __host__ __shared__ __constant__
+    __restrict__ __forceinline__ dim3 true false
+    """.split()
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            advance((end - i) if end != -1 else (n - i))
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+        # preprocessor line (kept verbatim; continuation lines honoured)
+        if c == "#" and (not tokens or col == 1 or source[i - 1] == "\n"):
+            start, l0, c0 = i, line, col
+            while i < n:
+                end = source.find("\n", i)
+                if end == -1:
+                    advance(n - i)
+                    break
+                if source[end - 1] == "\\":
+                    advance(end + 1 - i)
+                    continue
+                advance(end - i)
+                break
+            tokens.append(Token(TokType.PREPROC, source[start:i], l0, c0))
+            continue
+        # string / char literals
+        if c in "\"'":
+            start, l0, c0 = i, line, col
+            quote = c
+            advance(1)
+            while i < n and source[i] != quote:
+                advance(2 if source[i] == "\\" else 1)
+            if i >= n:
+                raise ParseError("unterminated literal", l0, c0)
+            advance(1)
+            ttype = TokType.STRING if quote == '"' else TokType.CHAR
+            tokens.append(Token(ttype, source[start:i], l0, c0))
+            continue
+        # numbers (ints, floats, hex, suffixes)
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            start, l0, c0 = i, line, col
+            seen_e = False
+            while i < n:
+                ch = source[i]
+                if ch.isalnum() or ch == "." or ch == "_":
+                    seen_e = ch in "eEpP"
+                    advance(1)
+                elif ch in "+-" and seen_e and source[i - 1] in "eEpP":
+                    advance(1)
+                else:
+                    break
+            tokens.append(Token(TokType.NUMBER, source[start:i], l0, c0))
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            start, l0, c0 = i, line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            tokens.append(Token(TokType.IDENT, source[start:i], l0, c0))
+            continue
+        # punctuators (maximal munch)
+        for p in _PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token(TokType.PUNCT, p, line, col))
+                advance(len(p))
+                break
+        else:
+            raise ParseError(f"unexpected character {c!r}", line, col)
+
+    tokens.append(Token(TokType.EOF, "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def pos(self) -> int:
+        return self._pos
+
+    def seek(self, pos: int) -> None:
+        self._pos = pos
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.type is not TokType.EOF:
+            self._pos += 1
+        return tok
+
+    def accept_punct(self, *values: str) -> bool:
+        if self.peek().is_punct(*values):
+            self.next()
+            return True
+        return False
+
+    def accept_ident(self, *values: str) -> bool:
+        if self.peek().is_ident(*values):
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> Token:
+        tok = self.peek()
+        if not tok.is_punct(value):
+            raise ParseError(
+                f"expected {value!r}, found {tok.value!r}", tok.line, tok.column
+            )
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.type is not TokType.IDENT:
+            raise ParseError(
+                f"expected identifier, found {tok.value!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.next()
+
+    def at_eof(self) -> bool:
+        return self.peek().type is TokType.EOF
+
+    def __iter__(self) -> Iterator[Token]:  # pragma: no cover
+        return iter(self._tokens[self._pos:])

@@ -1,0 +1,69 @@
+"""Occupancy analysis for compiled kernels.
+
+§4.1: FLEP sizes persistent launches as ``num_SMs * max_CTAs_per_SM``,
+where the per-SM limit follows from the kernel's register / shared
+memory / thread usage — "either given during runtime or ... derived
+through a linear scan of the compiled kernel code". The core occupancy
+arithmetic lives in :mod:`repro.gpu.occupancy`; this module connects it
+to the compiler's PTX scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..gpu.kernel import ResourceUsage
+from ..gpu.occupancy import (
+    OccupancyReport,
+    active_slots,
+    max_ctas_per_sm,
+    occupancy_report,
+    sms_needed,
+)
+from . import ast
+from .ptx import emit_ptx, scan_resources
+
+__all__ = [
+    "OccupancyReport",
+    "active_slots",
+    "max_ctas_per_sm",
+    "occupancy_report",
+    "sms_needed",
+    "KernelOccupancy",
+    "analyze_kernel",
+]
+
+
+@dataclass(frozen=True)
+class KernelOccupancy:
+    """Occupancy conclusions for one compiled kernel."""
+
+    kernel_name: str
+    resources: ResourceUsage
+    report: OccupancyReport
+    persistent_grid_ctas: int   # num_SMs * max_CTAs_per_SM
+
+    @property
+    def max_ctas_per_sm(self) -> int:
+        return self.report.ctas_per_sm
+
+
+def analyze_kernel(
+    kernel: ast.Function,
+    threads_per_cta: int = 256,
+    device: Optional[GPUDeviceSpec] = None,
+) -> KernelOccupancy:
+    """Emit PTX for ``kernel``, linear-scan it, and compute the
+    persistent-launch geometry on ``device``."""
+    device = device or tesla_k40()
+    ptx = emit_ptx(kernel)
+    resources = scan_resources(ptx, threads_per_cta=threads_per_cta)
+    report = occupancy_report(device, resources)
+    return KernelOccupancy(
+        kernel_name=kernel.name,
+        resources=resources,
+        report=report,
+        persistent_grid_ctas=device.num_sms * report.ctas_per_sm,
+    )

@@ -1,0 +1,488 @@
+"""Recursive-descent parser for the CUDA-C subset.
+
+Supports what the eight benchmark programs need: function definitions
+with CUDA qualifiers, declarations (including ``__shared__`` arrays),
+the usual statements, a C expression grammar with proper precedence,
+and the triple-chevron kernel-launch statement. Unsupported top-level
+constructs (preprocessor lines, ``using``, ...) are preserved verbatim
+as :class:`~repro.compiler.ast.Raw` items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import Token, TokType, TokenStream, tokenize
+
+#: Type-starting keywords (possibly multi-word, e.g. "unsigned int").
+_TYPE_WORDS = {
+    "void", "int", "unsigned", "signed", "long", "short", "char",
+    "float", "double", "bool", "dim3", "size_t",
+}
+_QUALIFIERS = {
+    "const", "volatile", "static", "extern", "inline", "restrict",
+    "__global__", "__device__", "__host__", "__shared__", "__constant__",
+    "__restrict__", "__forceinline__",
+}
+
+#: Binary operator precedence (C), higher binds tighter.
+_BINOPS = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse a whole source file."""
+    return _Parser(TokenStream(tokenize(source))).parse_unit()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and transforms)."""
+    parser = _Parser(TokenStream(tokenize(source)))
+    expr = parser.parse_expr()
+    if not parser.ts.at_eof():
+        tok = parser.ts.peek()
+        raise ParseError(
+            f"trailing tokens after expression: {tok.value!r}",
+            tok.line, tok.column,
+        )
+    return expr
+
+
+class _Parser:
+    def __init__(self, ts: TokenStream):
+        self.ts = ts
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.ts.at_eof():
+            tok = self.ts.peek()
+            if tok.type is TokType.PREPROC:
+                self.ts.next()
+                unit.items.append(ast.Raw(tok.value))
+                continue
+            item = self._try_function()
+            if item is not None:
+                unit.items.append(item)
+                continue
+            # fall back: a top-level declaration
+            decl = self.parse_declaration()
+            unit.items.append(decl)
+        return unit
+
+    def _try_function(self) -> Optional[ast.Function]:
+        """Attempt to parse a function definition; backtrack on failure."""
+        start = self.ts.pos
+        try:
+            quals = self._parse_qualifiers()
+            ret_type = self._parse_type_name()
+            name_tok = self.ts.expect_ident()
+            if not self.ts.peek().is_punct("("):
+                raise ParseError("not a function", name_tok.line, 0)
+            self.ts.expect_punct("(")
+            params = self._parse_params()
+            self.ts.expect_punct(")")
+            if self.ts.accept_punct(";"):
+                return self._as_prototype(
+                    quals, ret_type, name_tok.value, params
+                )
+            if not self.ts.peek().is_punct("{"):
+                raise ParseError("not a definition", name_tok.line, 0)
+        except ParseError:
+            self.ts.seek(start)
+            return None
+        # the signature matched: errors inside the body are real errors
+        # and must propagate with their own locations, not be masked by
+        # a top-level-declaration fallback
+        body = self.parse_block()
+        return ast.Function(quals, ret_type, name_tok.value, params, body)
+
+    def _as_prototype(self, quals, ret_type, name, params) -> ast.Function:
+        """Represent a prototype as a body-less function (empty block is
+        distinguished by a marker raw statement)."""
+        return ast.Function(
+            quals, ret_type, name, params,
+            ast.Block([ast.Raw("__flep_prototype__")]),
+        )
+
+    def _parse_qualifiers(self) -> List[str]:
+        quals = []
+        while self.ts.peek().is_ident(*_QUALIFIERS):
+            quals.append(self.ts.next().value)
+        return quals
+
+    def _parse_type_name(self) -> str:
+        words = []
+        tok = self.ts.peek()
+        if not tok.is_ident():
+            raise ParseError(
+                f"expected a type, found {tok.value!r}", tok.line, tok.column
+            )
+        if tok.value in _TYPE_WORDS:
+            while self.ts.peek().is_ident(*_TYPE_WORDS):
+                words.append(self.ts.next().value)
+        else:
+            # a user-defined type name (struct alias etc.)
+            words.append(self.ts.next().value)
+        return " ".join(words)
+
+    def _parse_params(self) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        if self.ts.peek().is_punct(")"):
+            return params
+        while True:
+            quals = self._parse_qualifiers()
+            base = self._parse_type_name()
+            quals += self._parse_qualifiers()  # e.g. "float * const"
+            pointer = 0
+            while self.ts.accept_punct("*"):
+                pointer += 1
+                while self.ts.peek().is_ident("const", "__restrict__",
+                                               "volatile", "restrict"):
+                    quals.append(self.ts.next().value)
+            name = ""
+            if self.ts.peek().is_ident() and not self.ts.peek().is_ident(
+                *_TYPE_WORDS
+            ):
+                name = self.ts.next().value
+            params.append(ast.Param(quals, base, name, pointer))
+            if not self.ts.accept_punct(","):
+                break
+        return params
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        self.ts.expect_punct("{")
+        body: List[ast.Stmt] = []
+        while not self.ts.peek().is_punct("}"):
+            if self.ts.at_eof():
+                tok = self.ts.peek()
+                raise ParseError("unterminated block", tok.line, tok.column)
+            body.append(self.parse_statement())
+        self.ts.expect_punct("}")
+        return ast.Block(body)
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.ts.peek()
+        if tok.type is TokType.PREPROC:
+            self.ts.next()
+            return ast.Raw(tok.value)
+        if tok.is_punct("{"):
+            return self.parse_block()
+        if tok.is_punct(";"):
+            self.ts.next()
+            return ast.ExprStmt(None)
+        if tok.is_ident("if"):
+            return self._parse_if()
+        if tok.is_ident("while"):
+            return self._parse_while()
+        if tok.is_ident("do"):
+            return self._parse_do()
+        if tok.is_ident("for"):
+            return self._parse_for()
+        if tok.is_ident("return"):
+            self.ts.next()
+            value = None
+            if not self.ts.peek().is_punct(";"):
+                value = self.parse_expr()
+            self.ts.expect_punct(";")
+            return ast.Return(value)
+        if tok.is_ident("break"):
+            self.ts.next()
+            self.ts.expect_punct(";")
+            return ast.Break()
+        if tok.is_ident("continue"):
+            self.ts.next()
+            self.ts.expect_punct(";")
+            return ast.Continue()
+        if tok.is_ident("asm", "__asm__"):
+            return self._parse_asm()
+        launch = self._try_kernel_launch()
+        if launch is not None:
+            return launch
+        decl = self._try_declaration()
+        if decl is not None:
+            return decl
+        expr = self.parse_expr()
+        self.ts.expect_punct(";")
+        return ast.ExprStmt(expr)
+
+    def _parse_asm(self) -> ast.Raw:
+        """Inline PTX (e.g. the %smid read): kept verbatim — the
+        constraint syntax is beyond the C expression grammar."""
+        parts = [self.ts.next().value]  # 'asm'
+        tok = self.ts.expect_punct("(")
+        parts.append(tok.value)
+        depth = 1
+        while depth > 0:
+            tok = self.ts.next()
+            if tok.type is TokType.EOF:
+                raise ParseError("unterminated asm statement", tok.line, 0)
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+            parts.append(tok.value)
+        self.ts.expect_punct(";")
+        # reconstruct with minimal spacing around ':' groups
+        return ast.Raw(" ".join(parts[:1]) + "".join(
+            (" " + p if p == ":" or parts[i] == ":" else p)
+            for i, p in enumerate(parts[1:], start=1)
+        ) + ";")
+
+    def _parse_if(self) -> ast.If:
+        self.ts.next()
+        self.ts.expect_punct("(")
+        cond = self.parse_expr()
+        self.ts.expect_punct(")")
+        then = self.parse_statement()
+        other = None
+        if self.ts.accept_ident("else"):
+            other = self.parse_statement()
+        return ast.If(cond, then, other)
+
+    def _parse_while(self) -> ast.While:
+        self.ts.next()
+        self.ts.expect_punct("(")
+        cond = self.parse_expr()
+        self.ts.expect_punct(")")
+        return ast.While(cond, self.parse_statement())
+
+    def _parse_do(self) -> ast.DoWhile:
+        self.ts.next()
+        body = self.parse_statement()
+        tok = self.ts.peek()
+        if not tok.is_ident("while"):
+            raise ParseError("expected 'while' after do-body",
+                             tok.line, tok.column)
+        self.ts.next()
+        self.ts.expect_punct("(")
+        cond = self.parse_expr()
+        self.ts.expect_punct(")")
+        self.ts.expect_punct(";")
+        return ast.DoWhile(body, cond)
+
+    def _parse_for(self) -> ast.For:
+        self.ts.next()
+        self.ts.expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self.ts.peek().is_punct(";"):
+            init = self._try_declaration()
+            if init is None:
+                init = ast.ExprStmt(self.parse_expr())
+                self.ts.expect_punct(";")
+        else:
+            self.ts.next()
+        cond = None
+        if not self.ts.peek().is_punct(";"):
+            cond = self.parse_expr()
+        self.ts.expect_punct(";")
+        step = None
+        if not self.ts.peek().is_punct(")"):
+            step = self.parse_expr()
+        self.ts.expect_punct(")")
+        return ast.For(init, cond, step, self.parse_statement())
+
+    def _try_kernel_launch(self) -> Optional[ast.KernelLaunch]:
+        tok = self.ts.peek()
+        if tok.type is not TokType.IDENT or not self.ts.peek(1).is_punct("<<<"):
+            return None
+        name = self.ts.next().value
+        self.ts.expect_punct("<<<")
+        grid = self.parse_assignment()
+        self.ts.expect_punct(",")
+        block = self.parse_assignment()
+        shared = stream = None
+        if self.ts.accept_punct(","):
+            shared = self.parse_assignment()
+            if self.ts.accept_punct(","):
+                stream = self.parse_assignment()
+        self.ts.expect_punct(">>>")
+        self.ts.expect_punct("(")
+        args = []
+        if not self.ts.peek().is_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if not self.ts.accept_punct(","):
+                    break
+        self.ts.expect_punct(")")
+        self.ts.expect_punct(";")
+        return ast.KernelLaunch(name, grid, block, shared, stream, args)
+
+    # -- declarations ----------------------------------------------------
+    def _looks_like_decl(self) -> bool:
+        tok = self.ts.peek()
+        return tok.is_ident(*(_TYPE_WORDS | _QUALIFIERS))
+
+    def _try_declaration(self) -> Optional[ast.Decl]:
+        if not self._looks_like_decl():
+            return None
+        start = self.ts.pos
+        try:
+            return self.parse_declaration()
+        except ParseError:
+            self.ts.seek(start)
+            return None
+
+    def parse_declaration(self) -> ast.Decl:
+        quals = self._parse_qualifiers()
+        base = self._parse_type_name()
+        quals += self._parse_qualifiers()
+        declarators: List[ast.Declarator] = []
+        while True:
+            pointer = 0
+            while self.ts.accept_punct("*"):
+                pointer += 1
+            name_tok = self.ts.expect_ident()
+            dims: List[ast.Expr] = []
+            while self.ts.accept_punct("["):
+                dims.append(self.parse_expr())
+                self.ts.expect_punct("]")
+            init = None
+            if self.ts.accept_punct("="):
+                init = self.parse_assignment()
+            declarators.append(
+                ast.Declarator(name_tok.value, pointer, dims, init)
+            )
+            if not self.ts.accept_punct(","):
+                break
+        self.ts.expect_punct(";")
+        return ast.Decl(quals, base, declarators)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.ts.accept_punct(","):
+            right = self.parse_assignment()
+            expr = ast.Binary(",", expr, right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        tok = self.ts.peek()
+        if tok.is_punct(*_ASSIGN_OPS):
+            op = self.ts.next().value
+            value = self.parse_assignment()
+            return ast.Assign(op, left, value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.ts.accept_punct("?"):
+            then = self.parse_assignment()
+            self.ts.expect_punct(":")
+            other = self.parse_assignment()
+            return ast.Ternary(cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.ts.peek()
+            if tok.type is not TokType.PUNCT:
+                break
+            prec = _BINOPS.get(tok.value)
+            if prec is None or prec < min_prec:
+                break
+            op = self.ts.next().value
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.ts.peek()
+        if tok.is_punct("-", "+", "!", "~", "*", "&", "++", "--"):
+            op = self.ts.next().value
+            return ast.Unary(op, self._parse_unary(), prefix=True)
+        # C-style cast: '(' type ')' unary
+        if tok.is_punct("("):
+            nxt = self.ts.peek(1)
+            if nxt.is_ident(*_TYPE_WORDS):
+                start = self.ts.pos
+                try:
+                    self.ts.next()  # '('
+                    type_name = self._parse_type_name()
+                    stars = ""
+                    while self.ts.accept_punct("*"):
+                        stars += "*"
+                    self.ts.expect_punct(")")
+                    operand = self._parse_unary()
+                    return ast.Cast(type_name + stars, operand)
+                except ParseError:
+                    self.ts.seek(start)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.ts.peek()
+            if tok.is_punct("("):
+                self.ts.next()
+                args = []
+                if not self.ts.peek().is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.ts.accept_punct(","):
+                            break
+                self.ts.expect_punct(")")
+                expr = ast.Call(expr, args)
+            elif tok.is_punct("["):
+                self.ts.next()
+                index = self.parse_expr()
+                self.ts.expect_punct("]")
+                expr = ast.Index(expr, index)
+            elif tok.is_punct("."):
+                self.ts.next()
+                member = self.ts.expect_ident().value
+                expr = ast.Member(expr, member, arrow=False)
+            elif tok.is_punct("->"):
+                self.ts.next()
+                member = self.ts.expect_ident().value
+                expr = ast.Member(expr, member, arrow=True)
+            elif tok.is_punct("++", "--"):
+                op = self.ts.next().value
+                expr = ast.Unary(op, expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.ts.peek()
+        if tok.is_punct("("):
+            self.ts.next()
+            expr = self.parse_expr()
+            self.ts.expect_punct(")")
+            return expr
+        if tok.type is TokType.NUMBER:
+            self.ts.next()
+            return ast.Literal(tok.value)
+        if tok.type in (TokType.STRING, TokType.CHAR):
+            self.ts.next()
+            return ast.Literal(tok.value)
+        if tok.type is TokType.IDENT:
+            self.ts.next()
+            return ast.Name(tok.value)
+        raise ParseError(
+            f"unexpected token {tok.value!r} in expression",
+            tok.line,
+            tok.column,
+        )

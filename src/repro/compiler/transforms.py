@@ -1,0 +1,230 @@
+"""The Figure-4 kernel transforms.
+
+Given a ``__global__`` kernel written in the usual one-CTA-per-task
+style, produce the three preemptable persistent-thread forms:
+
+* ``TEMPORAL`` (Figure 4a): each CTA loops pulling tasks; one boolean
+  flag check per task; quits when the host sets ``temp_P``.
+* ``TEMPORAL_AMORTIZED`` (Figure 4b): the flag is checked once per ``L``
+  tasks (the amortizing factor).
+* ``SPATIAL`` (Figure 4c): the flag carries an SM count; a CTA reads its
+  host SM id from the ``%smid`` register and quits iff
+  ``hostSM_ID < spa_P``.
+
+Mechanics shared by all three (last paragraph of §4.1): one thread per
+CTA polls the flag and pulls tasks via ``atomicAdd`` on a global
+counter; the values are broadcast through shared memory with a CTA-wide
+``__syncthreads()``. Uses of ``blockIdx.x`` in the original body are
+remapped to the pulled task index.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import TransformError
+from . import ast
+from .parser import parse
+
+
+class TransformKind(enum.Enum):
+    """The three Figure-4 kernel forms."""
+
+    TEMPORAL = "temporal"                      # Figure 4 (a)
+    TEMPORAL_AMORTIZED = "temporal_amortized"  # Figure 4 (b)
+    SPATIAL = "spatial"                        # Figure 4 (c)
+
+
+#: Names injected by the transform; the original kernel must not use them.
+RESERVED = (
+    "flep_P", "flep_L", "flep_counter", "flep_total",
+    "flep_task", "flep_quit", "flep_smid", "flep_i",
+)
+
+
+@dataclass
+class TransformedKernel:
+    """Result of transforming one kernel."""
+
+    kind: TransformKind
+    original_name: str
+    function: ast.Function
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+
+# ----------------------------------------------------------------------
+# blockIdx remapping
+# ----------------------------------------------------------------------
+def _remap_block_idx(node, replacement: str):
+    """Replace ``blockIdx.x`` with ``replacement`` throughout a subtree.
+
+    The benchmark kernels use 1-D grids (MM linearizes its tiles); 2-D
+    ``blockIdx.y`` uses are rejected so the limitation is loud.
+    """
+    if isinstance(node, ast.Member):
+        if isinstance(node.base, ast.Name) and node.base.ident == "blockIdx":
+            if node.member == "x":
+                return ast.Name(replacement)
+            raise TransformError(
+                f"blockIdx.{node.member} is not supported by the FLEP "
+                "transform (1-D grids only; linearize the grid first)"
+            )
+    kinds = (ast.Expr, ast.Stmt, ast.Declarator)
+    for field_name, value in list(vars(node).items()):
+        if isinstance(value, kinds):
+            setattr(node, field_name, _remap_block_idx(value, replacement))
+        elif isinstance(value, list):
+            setattr(
+                node,
+                field_name,
+                [
+                    _remap_block_idx(v, replacement)
+                    if isinstance(v, kinds)
+                    else v
+                    for v in value
+                ],
+            )
+    return node
+
+
+def _collect_names(node, out: set) -> None:
+    if isinstance(node, ast.Name):
+        out.add(node.ident)
+    if isinstance(node, ast.Declarator):
+        out.add(node.name)
+    for value in vars(node).values():
+        if isinstance(value, (ast.Expr, ast.Stmt, ast.Declarator)):
+            _collect_names(value, out)
+        elif isinstance(value, list):
+            for v in value:
+                if isinstance(v, (ast.Expr, ast.Stmt, ast.Declarator)):
+                    _collect_names(v, out)
+
+
+def _check_reserved(fn: ast.Function) -> None:
+    used: set = set()
+    _collect_names(fn.body, used)
+    used.update(p.name for p in fn.params)
+    clashes = used.intersection(RESERVED)
+    if clashes:
+        raise TransformError(
+            f"kernel {fn.name} uses FLEP-reserved names: {sorted(clashes)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the transform
+# ----------------------------------------------------------------------
+def _parse_snippet_stmts(source: str) -> List[ast.Stmt]:
+    """Parse statements by wrapping them in a dummy function."""
+    unit = parse("void __snippet__() {\n" + source + "\n}")
+    fn = unit.function("__snippet__")
+    if fn is None:  # pragma: no cover - parse() would have raised
+        raise TransformError("snippet parse failed")
+    return fn.body.body
+
+
+def transform_kernel(
+    kernel: ast.Function, kind: TransformKind
+) -> TransformedKernel:
+    """Produce the persistent-thread form of ``kernel``."""
+    if not kernel.is_kernel:
+        raise TransformError(f"{kernel.name} is not a __global__ kernel")
+    _check_reserved(kernel)
+
+    body = copy.deepcopy(kernel.body)
+    body = _remap_block_idx(body, "flep_task")
+
+    params = copy.deepcopy(kernel.params)
+    params.append(
+        ast.Param(["volatile"], "unsigned int", "flep_P", pointer=1)
+    )
+    if kind is not TransformKind.TEMPORAL:
+        params.append(ast.Param([], "unsigned int", "flep_L"))
+    params.append(ast.Param([], "unsigned int", "flep_counter", pointer=1))
+    params.append(ast.Param([], "unsigned int", "flep_total"))
+
+    if kind is TransformKind.SPATIAL:
+        quit_check = "flep_quit = (flep_smid < *flep_P);"
+        # inline PTX to read the host SM id (§4.1: "a register named
+        # %smid stores the ID"); kept as a verbatim statement because
+        # asm-with-constraints is beyond the C subset
+        smid_stmts: List[ast.Stmt] = [
+            ast.Raw("unsigned int flep_smid;"),
+            ast.Raw('asm("mov.u32 %0, %%smid;" : "=r"(flep_smid));'),
+        ]
+    else:
+        quit_check = "flep_quit = (*flep_P != 0u);"
+        smid_stmts = []
+
+    loop_header = (
+        "for (unsigned int flep_i = 0u; flep_i < flep_L; ++flep_i)"
+        if kind is not TransformKind.TEMPORAL
+        else "for (unsigned int flep_i = 0u; flep_i < 1u; ++flep_i)"
+    )
+
+    scaffold = f"""
+__shared__ unsigned int flep_task;
+__shared__ int flep_quit;
+while (1) {{
+    if (threadIdx.x == 0u) {{
+        {quit_check}
+    }}
+    __syncthreads();
+    if (flep_quit) return;
+    {loop_header} {{
+        if (threadIdx.x == 0u) {{
+            flep_task = atomicAdd(flep_counter, 1u);
+        }}
+        __syncthreads();
+        if (flep_task >= flep_total) return;
+        __syncthreads();
+    }}
+}}
+"""
+    stmts = smid_stmts + _parse_snippet_stmts(scaffold)
+
+    # splice the remapped original body where the task is processed:
+    # inside the inner for-loop, right after the bounds check
+    new_body = ast.Block(stmts)
+    inner_for = _find_inner_for(new_body)
+    # positions: [pull-if, syncthreads, bounds-check, syncthreads]
+    inner_for.body.body.insert(3, body)
+
+    suffix = {
+        TransformKind.TEMPORAL: "__flep_temporal",
+        TransformKind.TEMPORAL_AMORTIZED: "__flep",
+        TransformKind.SPATIAL: "__flep_spatial",
+    }[kind]
+    fn = ast.Function(
+        qualifiers=list(kernel.qualifiers),
+        return_type=kernel.return_type,
+        name=kernel.name + suffix,
+        params=params,
+        body=new_body,
+    )
+    return TransformedKernel(kind, kernel.name, fn)
+
+
+def _find_inner_for(block: ast.Block) -> ast.For:
+    for stmt in block.body:
+        if isinstance(stmt, ast.While):
+            for inner in stmt.body.body if isinstance(stmt.body, ast.Block) else []:
+                if isinstance(inner, ast.For):
+                    if not isinstance(inner.body, ast.Block):
+                        inner.body = ast.Block([inner.body])
+                    return inner
+    raise TransformError("transform scaffold lost its task loop")
+
+
+def transform_all(
+    kernel: ast.Function,
+) -> List[TransformedKernel]:
+    """All three Figure-4 forms of one kernel."""
+    return [transform_kernel(kernel, kind) for kind in TransformKind]

@@ -1,0 +1,96 @@
+"""Offline amortizing-factor tuning (§4.1).
+
+"FLEP can automatically find the smallest value for L through offline
+tuning (trying different values from small to large) such that the
+runtime overhead introduced by the transformation is less than 4%."
+
+The tuner *measures*: for each candidate L it executes the benchmark's
+large input solo on the simulator, once as the original kernel and once
+as the FLEP persistent form, and compares. Table 1's last column is the
+expected output for the eight calibrated benchmarks
+(``tests/compiler/test_tuning.py`` asserts the match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CompilationError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..gpu.gpu import SimulatedGPU
+from ..gpu.kernel import LaunchConfig, TaskPool
+from ..gpu.occupancy import active_slots
+from ..gpu.sim import Simulator
+from ..workloads.calibration import L_CANDIDATES, MAX_TRANSFORM_OVERHEAD
+from ..workloads.specs import KernelSpec
+
+
+def _solo_time(kspec: KernelSpec, input_name: str,
+               device: GPUDeviceSpec, amortize_l: Optional[int]) -> float:
+    """Measure a solo run: original kernel if ``amortize_l`` is None,
+    else the FLEP form with that amortizing factor."""
+    inp = kspec.input(input_name)
+    sim = Simulator()
+    gpu = SimulatedGPU(sim, device)
+    done: List[float] = []
+    if amortize_l is None:
+        gpu.launch(
+            kspec.original_image(inp),
+            LaunchConfig.original(inp.tasks),
+            on_complete=lambda g: done.append(sim.now),
+        )
+    else:
+        slots = active_slots(device, kspec.resources)
+        gpu.launch(
+            kspec.flep_image(inp, amortize_l),
+            LaunchConfig.persistent(inp.tasks, slots),
+            pool=TaskPool(inp.tasks),
+            flag=gpu.new_flag(),
+            on_complete=lambda g: done.append(sim.now),
+        )
+    sim.run()
+    if not done:
+        raise CompilationError(
+            f"solo tuning run of {kspec.name} did not complete"
+        )
+    return done[0]
+
+
+@dataclass
+class TuningResult:
+    kernel_name: str
+    chosen_l: int
+    max_overhead: float
+    trials: List[Tuple[int, float]] = field(default_factory=list)
+
+    def overhead_of(self, amortize_l: int) -> float:
+        for l, ovh in self.trials:
+            if l == amortize_l:
+                return ovh
+        raise CompilationError(f"L={amortize_l} was not tried")
+
+
+def tune_amortizing_factor(
+    kspec: KernelSpec,
+    device: Optional[GPUDeviceSpec] = None,
+    input_name: str = "large",
+    candidates: Sequence[int] = L_CANDIDATES,
+    max_overhead: float = MAX_TRANSFORM_OVERHEAD,
+) -> TuningResult:
+    """Smallest ladder L whose measured transform overhead is below
+    ``max_overhead`` (the paper's 4% rule)."""
+    device = device or tesla_k40()
+    base = _solo_time(kspec, input_name, device, None)
+    result = TuningResult(kspec.name, 0, max_overhead)
+    for cand in sorted(candidates):
+        flep = _solo_time(kspec, input_name, device, cand)
+        overhead = (flep - base) / base
+        result.trials.append((cand, overhead))
+        if overhead < max_overhead:
+            result.chosen_l = cand
+            return result
+    raise CompilationError(
+        f"{kspec.name}: no candidate L meets the "
+        f"{max_overhead:.0%} overhead budget (tried {list(candidates)})"
+    )

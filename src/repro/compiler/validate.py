@@ -1,0 +1,162 @@
+"""Semantic validation of parsed/transformed kernels.
+
+A lightweight checker the compilation engine runs over every kernel it
+emits: every identifier used must be a parameter, a declared local, a
+CUDA builtin, or a known device function. This is the guard-rail that
+catches transform bugs (a remap that missed a use, a scaffold that
+forgot a declaration) before the "generated source" ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from ..errors import CompilationError
+from . import ast
+
+#: Identifiers CUDA provides inside kernels.
+CUDA_BUILTINS = frozenset(
+    """
+    threadIdx blockIdx blockDim gridDim warpSize
+    __syncthreads __syncwarp __threadfence __threadfence_block
+    atomicAdd atomicSub atomicMax atomicMin atomicExch atomicCAS
+    sqrtf rsqrtf expf logf powf fabsf fminf fmaxf floorf ceilf
+    sqrt exp log pow fabs fmin fmax floor ceil
+    min max abs
+    asm
+    """.split()
+)
+
+
+@dataclass
+class ValidationReport:
+    kernel: str
+    undeclared: List[str] = field(default_factory=list)
+    shadowed_params: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.undeclared and not self.shadowed_params
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names: Set[str] = set()
+
+    def declare(self, name: str) -> None:
+        self.names.add(name)
+
+    def __contains__(self, name: str) -> bool:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+
+class _Validator:
+    def __init__(self, kernel: ast.Function):
+        self.kernel = kernel
+        self.report = ValidationReport(kernel.name)
+        self._flagged: Set[str] = set()
+
+    def run(self) -> ValidationReport:
+        scope = _Scope()
+        params = set()
+        for p in self.kernel.params:
+            if p.name:
+                if p.name in params:
+                    self.report.shadowed_params.append(p.name)
+                params.add(p.name)
+                scope.declare(p.name)
+        self._stmt(self.kernel.body, scope)
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _stmt(self, node: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(node, ast.Block):
+            inner = _Scope(scope)
+            for child in node.body:
+                self._stmt(child, inner)
+        elif isinstance(node, ast.Decl):
+            for d in node.declarators:
+                for dim in d.array_dims:
+                    self._expr(dim, scope)
+                if d.init is not None:
+                    self._expr(d.init, scope)
+                scope.declare(d.name)
+        elif isinstance(node, ast.ExprStmt):
+            if node.expr is not None:
+                self._expr(node.expr, scope)
+        elif isinstance(node, ast.If):
+            self._expr(node.cond, scope)
+            self._stmt(node.then, _Scope(scope))
+            if node.other is not None:
+                self._stmt(node.other, _Scope(scope))
+        elif isinstance(node, (ast.While, ast.DoWhile)):
+            self._expr(node.cond, scope)
+            self._stmt(node.body, _Scope(scope))
+        elif isinstance(node, ast.For):
+            inner = _Scope(scope)
+            if node.init is not None:
+                self._stmt(node.init, inner)
+            if node.cond is not None:
+                self._expr(node.cond, inner)
+            if node.step is not None:
+                self._expr(node.step, inner)
+            self._stmt(node.body, _Scope(inner))
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._expr(node.value, scope)
+        elif isinstance(node, ast.Raw):
+            # verbatim text (asm / preprocessor): may *declare* a simple
+            # variable ("unsigned int flep_smid;"); recognize that form
+            text = node.text.strip().rstrip(";")
+            parts = text.split()
+            if parts and text and "(" not in text and parts[-1].isidentifier():
+                scope.declare(parts[-1])
+        # Break/Continue/KernelLaunch inside kernels: nothing to check
+
+    def _expr(self, node: ast.Expr, scope: _Scope) -> None:
+        if isinstance(node, ast.Name):
+            ident = node.ident
+            if (
+                ident not in scope
+                and ident not in CUDA_BUILTINS
+                and not ident[0].isdigit()
+                and ident not in self._flagged
+            ):
+                self._flagged.add(ident)
+                self.report.undeclared.append(ident)
+            return
+        for value in vars(node).values():
+            if isinstance(value, ast.Expr):
+                self._expr(value, scope)
+            elif isinstance(value, list):
+                for v in value:
+                    if isinstance(v, ast.Expr):
+                        self._expr(v, scope)
+
+
+def validate_kernel(kernel: ast.Function) -> ValidationReport:
+    """Check one kernel; returns a report (never raises)."""
+    if not kernel.is_kernel:
+        raise CompilationError(f"{kernel.name} is not a __global__ kernel")
+    return _Validator(kernel).run()
+
+
+def assert_valid(kernel: ast.Function) -> None:
+    """Raise :class:`CompilationError` when validation fails."""
+    report = validate_kernel(kernel)
+    if not report.ok:
+        problems = []
+        if report.undeclared:
+            problems.append(f"undeclared identifiers: {report.undeclared}")
+        if report.shadowed_params:
+            problems.append(f"duplicate parameters: {report.shadowed_params}")
+        raise CompilationError(
+            f"kernel {kernel.name} failed validation: " + "; ".join(problems)
+        )

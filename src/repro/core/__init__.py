@@ -1,0 +1,36 @@
+"""FLEP's core: the runtime-facing facade, Figure 5's interception state
+machine, preemption planning, and the scheduling policies."""
+
+from .flep import CoRunResult, FlepSystem
+from .interception import CPUState, InterceptedProcess
+from .policies import (
+    FFSPolicy,
+    FIFOPolicy,
+    HPFPolicy,
+    POLICIES,
+    ReorderPolicy,
+    SchedulingPolicy,
+)
+from .preemption import (
+    PreemptionMode,
+    PreemptionPlan,
+    guest_sms_required,
+    plan_preemption,
+)
+
+__all__ = [
+    "CoRunResult",
+    "FlepSystem",
+    "CPUState",
+    "InterceptedProcess",
+    "FFSPolicy",
+    "FIFOPolicy",
+    "HPFPolicy",
+    "POLICIES",
+    "ReorderPolicy",
+    "SchedulingPolicy",
+    "PreemptionMode",
+    "PreemptionPlan",
+    "guest_sms_required",
+    "plan_preemption",
+]

@@ -1,0 +1,128 @@
+"""The transformed CPU code's state machine (Figure 5).
+
+After FLEP's host transform, a process's CPU code no longer launches
+kernels directly: it sends the invocation to the runtime (S1 -> S2),
+waits for the runtime's scheduling decision (S2), observes its kernel
+run (S3) and — on a preemption signal — writes the flag and returns to
+S2 until the runtime reschedules it. :class:`InterceptedProcess`
+executes a :class:`~repro.gpu.host.HostProgram` under those semantics,
+with the runtime engine performing the flag writes on the host's behalf
+(the signal path of the transformed code).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..errors import RuntimeEngineError
+from ..gpu.host import (
+    CopyToDevice,
+    CopyToHost,
+    HostCompute,
+    HostProgram,
+    KernelInvoke,
+)
+from ..gpu.transfer import DMAEngine, Direction
+from ..runtime.engine import FlepRuntime, KernelInvocation
+
+
+class CPUState(enum.Enum):
+    """The transformed CPU code's states (Figure 5)."""
+
+    S1_CPU_EXECUTION = "S1"
+    S2_WAIT_SCHEDULING = "S2"
+    S3_WAIT_GPU = "S3"
+    DONE = "done"
+
+
+class InterceptedProcess:
+    """One host process running its FLEP-transformed program."""
+
+    def __init__(
+        self,
+        runtime: FlepRuntime,
+        program: HostProgram,
+        dma: Optional[DMAEngine] = None,
+    ):
+        self.runtime = runtime
+        self.program = program
+        self.dma = dma or DMAEngine(runtime.sim, runtime.device.costs)
+        self.state = CPUState.S1_CPU_EXECUTION
+        self.invocations: List[KernelInvocation] = []
+        self._pc = 0
+        self._loops_completed = 0
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeEngineError(
+                f"process {self.program.name} started twice"
+            )
+        self._started = True
+        self._step()
+
+    def stop(self) -> None:
+        """Stop re-looping (for loop_forever programs)."""
+        self._stopped = True
+
+    @property
+    def finished(self) -> bool:
+        return self.state is CPUState.DONE
+
+    @property
+    def loops_completed(self) -> int:
+        return self._loops_completed
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if self._pc >= len(self.program.ops):
+            self._loops_completed += 1
+            if self.program.loop_forever and not self._stopped:
+                self._pc = 0
+            else:
+                self.state = CPUState.DONE
+                return
+        op = self.program.ops[self._pc]
+        self._pc += 1
+        if isinstance(op, HostCompute):
+            self.state = CPUState.S1_CPU_EXECUTION
+            self.runtime.sim.schedule(
+                op.duration_us, self._step,
+                label=f"{self.program.name}:compute",
+            )
+        elif isinstance(op, CopyToDevice):
+            self.state = CPUState.S1_CPU_EXECUTION
+            self.dma.copy(Direction.H2D, op.nbytes, self._step)
+        elif isinstance(op, CopyToHost):
+            self.state = CPUState.S1_CPU_EXECUTION
+            self.dma.copy(Direction.D2H, op.nbytes, self._step)
+        elif isinstance(op, KernelInvoke):
+            self._invoke(op, remaining=op.repeats)
+        else:  # pragma: no cover - exhaustive over HostOp
+            raise RuntimeEngineError(f"unknown host op {op!r}")
+
+    def _invoke(self, op: KernelInvoke, remaining: int) -> None:
+        # S1 -> S2: send the invocation to the runtime, don't launch.
+        self.state = CPUState.S2_WAIT_SCHEDULING
+
+        def _finished(inv: KernelInvocation) -> None:
+            # S3 -> S1: kernel done, CPU processes results / continues.
+            if remaining > 1:
+                self._invoke(op, remaining - 1)
+            else:
+                self.state = CPUState.S1_CPU_EXECUTION
+                self._step()
+
+        inv = self.runtime.submit(
+            process=self.program.name,
+            kernel=op.kernel,
+            input_name=op.input_name,
+            priority=self.program.priority,
+            on_finished=_finished,
+        )
+        self.invocations.append(inv)
+        # Note: S2 -> S3 happens inside the runtime when the policy calls
+        # schedule_to_gpu; the process only observes completion.

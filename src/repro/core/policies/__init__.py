@@ -1,0 +1,24 @@
+"""FLEP scheduling policies: HPF and FFS (the paper's two), plus FIFO
+and kernel-reordering controls used by the evaluation."""
+
+from .base import SchedulingPolicy
+from .ffs import FFSPolicy
+from .fifo import FIFOPolicy
+from .hpf import HPFPolicy
+from .reorder import ReorderPolicy
+
+POLICIES = {
+    "hpf": HPFPolicy,
+    "ffs": FFSPolicy,
+    "fifo": FIFOPolicy,
+    "reorder": ReorderPolicy,
+}
+
+__all__ = [
+    "SchedulingPolicy",
+    "FFSPolicy",
+    "FIFOPolicy",
+    "HPFPolicy",
+    "ReorderPolicy",
+    "POLICIES",
+]

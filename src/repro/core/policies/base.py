@@ -1,0 +1,43 @@
+"""Scheduling-policy interface.
+
+A policy makes the *decisions* — which kernel to run next, whether to
+preempt the running one, temporally or spatially — while the
+:class:`~repro.runtime.engine.FlepRuntime` performs the *mechanics*.
+The engine calls the policy on exactly the events §5.1 lists: a kernel
+arrives, a kernel finishes, and (additionally, because the drain is not
+instantaneous on real hardware) when a requested preemption completes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...runtime.engine import FlepRuntime, KernelInvocation
+
+
+class SchedulingPolicy(abc.ABC):
+    """Base class for FLEP scheduling policies."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self.rt: "FlepRuntime" = None  # set by attach()
+
+    def attach(self, runtime: "FlepRuntime") -> None:
+        """Bind to the runtime engine. Called once by the engine."""
+        self.rt = runtime
+
+    @abc.abstractmethod
+    def on_kernel_arrival(self, inv: "KernelInvocation") -> None:
+        """A new invocation was intercepted (Figure 6, case 1)."""
+
+    @abc.abstractmethod
+    def on_kernel_finished(self, inv: "KernelInvocation") -> None:
+        """An invocation completed (Figure 6, case 2)."""
+
+    def on_preemption_drained(self, inv: "KernelInvocation") -> None:
+        """A temporal preemption finished draining; ``inv`` is fully off
+        the GPU. Default: nothing (the successor was already launched —
+        its CTAs filled the SMs as they freed)."""

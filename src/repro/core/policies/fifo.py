@@ -1,0 +1,34 @@
+"""Non-preemptive FIFO policy.
+
+Control policy: kernels run to completion in arrival order, regardless
+of priority. Within the FLEP machinery this emulates the MPS baseline's
+ordering (the true baseline executor, which runs *untransformed*
+kernels through MPS streams, lives in
+:mod:`repro.baselines.mps_corun`)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import SchedulingPolicy
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Run-to-completion in arrival order; never preempts."""
+
+    name = "fifo"
+
+    def __init__(self):
+        super().__init__()
+        self._waiting = deque()
+
+    def on_kernel_arrival(self, inv) -> None:
+        self._waiting.append(inv)
+        self._maybe_start()
+
+    def on_kernel_finished(self, inv) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self.rt.running is None and self._waiting:
+            self.rt.schedule_to_gpu(self._waiting.popleft())

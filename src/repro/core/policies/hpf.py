@@ -1,0 +1,100 @@
+"""Highest-priority-first scheduling with performance-degradation
+minimization (§5.2.1, Figure 6).
+
+* Across priorities: a higher-priority arrival always preempts the
+  running lower-priority kernel. If the arrival cannot fill the GPU,
+  the victim is preempted *spatially* — it yields just enough SMs.
+* Within a priority level: shortest-remaining-time (SRT) order, which is
+  2-competitive for average stretch (Muthukrishnan et al.). The running
+  kernel is preempted only if its remaining time exceeds the candidate's
+  remaining time plus the preemption overhead.
+"""
+
+from __future__ import annotations
+
+from ...errors import RuntimeEngineError
+from ...runtime.queues import PriorityQueues
+from .base import SchedulingPolicy
+
+
+class HPFPolicy(SchedulingPolicy):
+    """Figure 6's online algorithm."""
+
+    name = "hpf"
+
+    def __init__(self, srt_within_priority: bool = True):
+        super().__init__()
+        self.queues = PriorityQueues()
+        #: disable to fall back to FIFO within a priority level (ablation)
+        self.srt_within_priority = srt_within_priority
+
+    # ------------------------------------------------------------------
+    # event handlers (Figure 6, lines 0-20)
+    # ------------------------------------------------------------------
+    def on_kernel_arrival(self, kn) -> None:
+        rt = self.rt
+        kr = rt.running
+        if kr is not None:
+            if kr.priority < kn.priority:
+                self._preempt_for(kr, kn)
+            elif kr.priority > kn.priority:
+                self.queues.enqueue(kn)
+            else:
+                self.queues.enqueue(kn)
+                self.schedule_for_queue(kn.priority)
+        else:
+            self.queues.enqueue(kn)
+            self.schedule_for_queue(kn.priority)
+
+    def on_kernel_finished(self, inv) -> None:
+        hp = self.queues.highest_nonempty_priority()
+        if hp is not None:
+            self.schedule_for_queue(hp)
+
+    # ------------------------------------------------------------------
+    # the key scheduling function (Figure 6, lines 22-34)
+    # ------------------------------------------------------------------
+    def schedule_for_queue(self, priority: int) -> None:
+        rt = self.rt
+        self.queues.resort()
+        ks = self.queues.head(priority)
+        if ks is None:
+            return
+        if not self.srt_within_priority:
+            ks = min(self.queues.at_priority(priority),
+                     key=lambda i: i.record.arrived_at)
+        kr = rt.running
+        if kr is None:
+            self.queues.remove(ks)
+            rt.schedule_to_gpu(ks)
+            return
+        if kr.priority > priority:
+            return  # a higher-priority kernel owns the GPU
+        if kr.priority < priority:
+            raise RuntimeEngineError(
+                "invariant violated: a lower-priority kernel is running "
+                "while higher-priority work waits"
+            )
+        # same priority: preempt only if it pays off net of overhead
+        overhead = rt.preemption_overhead_us(kr)
+        if kr.record.remaining_us > ks.record.remaining_us + overhead:
+            rt.preempt(kr)
+            self.queues.enqueue(kr)
+            self.queues.remove(ks)
+            rt.schedule_to_gpu(ks)
+
+    # ------------------------------------------------------------------
+    def _preempt_for(self, kr, kn) -> None:
+        """A strictly-higher-priority kernel arrived while ``kr`` runs."""
+        rt = self.rt
+        num_sms = rt.device.num_sms
+        width = num_sms
+        if rt.config.spatial_enabled:
+            width = kr.yielded_sms + rt.spatial_width_for(kn)
+        if width < num_sms:
+            rt.preempt(kr, width)      # spatial: victim keeps the rest
+            rt.schedule_to_gpu(kn)     # guest fills the freed SMs
+        else:
+            rt.preempt(kr)             # temporal: victim drains fully
+            self.queues.enqueue(kr)
+            rt.schedule_to_gpu(kn)     # CTAs fill SMs as they free

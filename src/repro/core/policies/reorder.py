@@ -1,0 +1,39 @@
+"""Kernel-reordering baseline (§6.3.2).
+
+Prior frameworks without preemption support (Li et al., Margiolas &
+O'Boyle) can still *reorder* waiting kernels, scheduling shorter ones
+first. This policy implements that: shortest-predicted-time-first among
+the waiting kernels, but the running kernel is never preempted — which
+is why the paper measures only ~2.3 % ANTT improvement when a long
+kernel is already occupying the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import SchedulingPolicy
+
+
+class ReorderPolicy(SchedulingPolicy):
+    """Shortest-job-first over the wait queue; no preemption."""
+
+    name = "reorder"
+
+    def __init__(self):
+        super().__init__()
+        self._waiting: List = []
+
+    def on_kernel_arrival(self, inv) -> None:
+        self._waiting.append(inv)
+        self._maybe_start()
+
+    def on_kernel_finished(self, inv) -> None:
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self.rt.running is not None or not self._waiting:
+            return
+        shortest = min(self._waiting, key=lambda i: i.record.remaining_us)
+        self._waiting.remove(shortest)
+        self.rt.schedule_to_gpu(shortest)

@@ -1,0 +1,81 @@
+"""Preemption planning: temporal vs spatial (§2.2, §6.4).
+
+FLEP's flexibility is the choice, per preemption, between yielding the
+whole GPU (temporal) and yielding just the SMs the waiting kernel can
+actually use (spatial). :func:`plan_preemption` encodes that decision;
+experiments can force either mode or sweep the yield width (Figure 16).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SchedulingError
+from ..gpu.device import GPUDeviceSpec
+from ..gpu.kernel import ResourceUsage
+from ..gpu.occupancy import active_slots, sms_needed
+
+
+class PreemptionMode(enum.Enum):
+    """How the victim yields: everything, or just some SMs."""
+
+    TEMPORAL = "temporal"   # yield every SM
+    SPATIAL = "spatial"     # yield only the first `width` SMs
+
+
+@dataclass(frozen=True)
+class PreemptionPlan:
+    """What to write into the victim's pinned flag."""
+
+    mode: PreemptionMode
+    flag_value: int          # the spa_P value (== num_sms for temporal)
+    width_sms: int           # SMs the waiting kernel will receive
+
+    def __post_init__(self):
+        if self.flag_value < 1 or self.width_sms < 1:
+            raise SchedulingError("preemption plan must yield >= 1 SM")
+
+
+def guest_sms_required(
+    device: GPUDeviceSpec, resources: ResourceUsage, tasks: int
+) -> int:
+    """SMs needed to host every CTA the waiting kernel can activate."""
+    slots = active_slots(device, resources)
+    ctas = min(tasks, slots)
+    return sms_needed(device, resources, ctas)
+
+
+def plan_preemption(
+    device: GPUDeviceSpec,
+    guest_resources: ResourceUsage,
+    guest_tasks: int,
+    already_yielded_sms: int = 0,
+    force_mode: Optional[PreemptionMode] = None,
+    force_width: Optional[int] = None,
+) -> PreemptionPlan:
+    """Decide how the running kernel should yield for a waiting kernel.
+
+    The paper's default: spatial iff the waiting kernel cannot occupy
+    the whole GPU; otherwise temporal. ``force_width`` implements the
+    Figure-16 sweep (yield more SMs than strictly needed).
+    """
+    num_sms = device.num_sms
+    if force_mode is PreemptionMode.TEMPORAL:
+        return PreemptionPlan(PreemptionMode.TEMPORAL, num_sms, num_sms)
+
+    needed = (
+        force_width
+        if force_width is not None
+        else guest_sms_required(device, guest_resources, guest_tasks)
+    )
+    total = already_yielded_sms + needed
+    if force_mode is PreemptionMode.SPATIAL and total >= num_sms:
+        raise SchedulingError(
+            f"spatial preemption forced but {total} SMs would be yielded "
+            f"on a {num_sms}-SM device"
+        )
+    if total >= num_sms:
+        return PreemptionPlan(PreemptionMode.TEMPORAL, num_sms, num_sms)
+    return PreemptionPlan(PreemptionMode.SPATIAL, total, needed)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the FLEP reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch the library's failures with a single ``except`` clause
+while still distinguishing subsystem-specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """A scheduling decision violated an invariant (e.g. double dispatch)."""
+
+
+class ResourceError(SimulationError):
+    """An SM or device resource budget was exceeded or under-released."""
+
+
+class MemoryError_(SimulationError):
+    """Device/pinned memory allocation failure (distinct from builtins)."""
+
+
+class CompilationError(ReproError):
+    """The FLEP source-to-source compiler rejected the input program."""
+
+
+class ParseError(CompilationError):
+    """Syntax error in the CUDA-C subset accepted by the frontend."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TransformError(CompilationError):
+    """A kernel/host transform could not be applied to the parsed program."""
+
+
+class OccupancyError(CompilationError):
+    """A launch configuration cannot be hosted by the target device at all."""
+
+
+class RuntimeEngineError(ReproError):
+    """The FLEP online runtime engine hit an inconsistent state."""
+
+
+class ModelError(RuntimeEngineError):
+    """A performance model could not be trained or evaluated."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark/workload definition or calibration is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,69 @@
+"""Experiment harness: one module per table/figure of the paper's
+evaluation (see DESIGN.md §5 for the index)."""
+
+from . import (
+    ablations,
+    ffs3,
+    fig1,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    variance,
+)
+from .harness import CoRunHarness, CoRunOutcome, Entry, Scenario
+from .pairs import (
+    CoRunPair,
+    CoRunTriplet,
+    equal_priority_pairs,
+    hpf_priority_pairs,
+    random_triplets,
+    spatial_pairs,
+)
+from .report import ExperimentReport, geo_mean
+
+#: experiment id -> module with a run() -> ExperimentReport function
+EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    # extensions beyond the paper's figures (DESIGN.md §7)
+    "ffs3": ffs3,
+    "variance": variance,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "CoRunHarness",
+    "CoRunOutcome",
+    "Entry",
+    "Scenario",
+    "CoRunPair",
+    "CoRunTriplet",
+    "equal_priority_pairs",
+    "hpf_priority_pairs",
+    "random_triplets",
+    "spatial_pairs",
+    "ExperimentReport",
+    "geo_mean",
+]

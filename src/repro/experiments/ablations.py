@@ -1,0 +1,190 @@
+"""Ablations beyond the paper's figures.
+
+Each probes a design choice DESIGN.md calls out:
+
+* **Poll-cost sweep** — §7's NVLink discussion: FLEP's overhead is the
+  pinned-memory poll amortized over ``L`` tasks; faster CPU-GPU
+  communication would let the tuner pick much smaller ``L`` (finer
+  preemption) at the same overhead budget.
+* **Slicing granularity sweep** — §2.2's dilemma quantified: slice
+  size vs (overhead, preemption latency) for one benchmark.
+* **Prediction-model ablation** — HPF with the trained ridge models vs
+  a perfect oracle: how much scheduling quality the 6.9 % prediction
+  error actually costs (§6.2's "the prediction helps FLEP" claim).
+* **Amortizing-factor sensitivity** — overhead and preemption latency
+  as ``L`` sweeps around the tuned value (§7's trade-off paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines.mps_corun import solo_exec_us
+from ..baselines.slicing import sliced_solo_exec_us
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..runtime.engine import RuntimeConfig
+from ..runtime.profiler import profile_preemption_overhead
+from ..workloads.benchmarks import standard_suite
+from ..workloads.calibration import L_CANDIDATES, MAX_TRANSFORM_OVERHEAD
+from .harness import CoRunHarness, Scenario
+from .pairs import equal_priority_pairs
+from .report import ExperimentReport
+
+
+# ----------------------------------------------------------------------
+# poll-cost sweep (NVLink)
+# ----------------------------------------------------------------------
+def run_poll_cost_sweep(
+    benchmarks: Sequence[str] = ("NN", "PF", "VA"),
+    poll_costs_us: Sequence[float] = (1.0, 0.5, 0.2, 0.1, 0.05),
+) -> ExperimentReport:
+    """Re-tune the amortizing factor under cheaper flag polls."""
+    from ..compiler.tuning import tune_amortizing_factor
+
+    report = ExperimentReport(
+        "ablation_poll_cost",
+        "Amortizing factor vs pinned-poll cost (the NVLink argument, §7)",
+    )
+    for poll in poll_costs_us:
+        device = tesla_k40(pinned_poll_us=poll)
+        suite = standard_suite(device)
+        for bench in benchmarks:
+            result = tune_amortizing_factor(suite[bench], device=device)
+            kspec = suite[bench]
+            latency_us = result.chosen_l * kspec.task_time_us
+            report.add_row(
+                benchmark=bench,
+                poll_us=poll,
+                tuned_l=result.chosen_l,
+                preempt_granularity_us=latency_us,
+                overhead=result.overhead_of(result.chosen_l),
+            )
+    report.notes.append(
+        "cheaper polls (NVLink-class latency) let the <4% rule pick far "
+        "smaller L: preemption granularity shrinks at equal overhead"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# slicing granularity sweep
+# ----------------------------------------------------------------------
+def run_slicing_granularity_sweep(
+    benchmark: str = "MM",
+    waves: Sequence[int] = (1, 2, 5, 10, 20, 50),
+    device: Optional[GPUDeviceSpec] = None,
+) -> ExperimentReport:
+    """§2.2's dilemma: finer slices mean lower preemption latency but
+    more boundary overhead."""
+    device = device or tesla_k40()
+    suite = standard_suite(device)
+    kspec = suite[benchmark]
+    orig = solo_exec_us(benchmark, "large", device, suite)
+    report = ExperimentReport(
+        "ablation_slicing",
+        f"Kernel-slicing granularity dilemma ({benchmark})",
+    )
+    for w in waves:
+        slice_tasks = w * 120
+        sliced = sliced_solo_exec_us(
+            benchmark, "large", slice_tasks=slice_tasks,
+            device=device, suite=suite,
+        )
+        report.add_row(
+            waves_per_slice=w,
+            slice_tasks=slice_tasks,
+            preempt_latency_us=w * kspec.task_time_us,
+            overhead=(sliced - orig) / orig,
+        )
+    report.notes.append(
+        "overhead falls with coarser slices exactly as preemption "
+        "latency rises — the dilemma FLEP's flag polling avoids"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# prediction-model ablation
+# ----------------------------------------------------------------------
+def run_model_ablation(
+    harness: Optional[CoRunHarness] = None,
+    n_pairs: int = 28,
+) -> ExperimentReport:
+    """HPF with trained ridge models vs a perfect oracle, over the
+    equal-priority pairs."""
+    harness = harness or CoRunHarness()
+    report = ExperimentReport(
+        "ablation_models",
+        "HPF scheduling: ridge predictions vs oracle",
+    )
+    for pair in equal_priority_pairs()[:n_pairs]:
+        scenario = Scenario.pair(
+            low=pair.low, high=pair.high, low_priority=0, high_priority=0
+        )
+        ridge = harness.run_flep(
+            scenario, config=RuntimeConfig(oracle_model=False)
+        )
+        oracle = harness.run_flep(
+            scenario, config=RuntimeConfig(oracle_model=True)
+        )
+        report.add_row(
+            pair=pair.name,
+            ridge_antt=ridge.antt(scenario),
+            oracle_antt=oracle.antt(scenario),
+            penalty=ridge.antt(scenario) / oracle.antt(scenario),
+        )
+    report.summarize("penalty")
+    report.notes.append(
+        "penalty ~1.0 means the simple linear model loses almost nothing "
+        "vs perfect knowledge — §4.2's design point"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# amortizing-factor sensitivity
+# ----------------------------------------------------------------------
+def run_amortize_sensitivity(
+    benchmark: str = "NN",
+    device: Optional[GPUDeviceSpec] = None,
+) -> ExperimentReport:
+    """Overhead and measured drain latency across the L ladder."""
+    device = device or tesla_k40()
+    suite = standard_suite(device)
+    kspec = suite[benchmark]
+    orig = solo_exec_us(benchmark, "large", device, suite)
+    report = ExperimentReport(
+        "ablation_amortize",
+        f"Amortizing-factor trade-off ({benchmark})",
+    )
+    from .fig17 import flep_solo_exec_us
+
+    for L in L_CANDIDATES:
+        flep = flep_solo_exec_us(benchmark, "large", device, suite,
+                                 amortize_l=L)
+        drain = profile_preemption_overhead(
+            kspec, L, device, runs=15
+        )["mean_drain_us"]
+        report.add_row(
+            amortize_l=L,
+            overhead=(flep - orig) / orig,
+            mean_drain_us=drain,
+            meets_4pct=(flep - orig) / orig < MAX_TRANSFORM_OVERHEAD,
+        )
+    report.notes.append(
+        "small L: fast preemption, high polling overhead; large L: the "
+        "reverse — the tuner picks the smallest L under 4% (§4.1/§7)"
+    )
+    return report
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run and print all four ablations."""
+    for fn in (
+        run_poll_cost_sweep,
+        run_slicing_granularity_sweep,
+        run_model_ablation,
+        run_amortize_sensitivity,
+    ):
+        fn().print()
+        print()

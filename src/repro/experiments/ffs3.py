@@ -1,0 +1,100 @@
+"""FFS with three co-running kernels (the paper elides these: "We
+elide the results for three-kernel co-runs with FFS ... because they
+are similar to those of the two-kernel co-runs", §6.3.3).
+
+We implement them anyway: three looping processes at weights 3:2:1
+should receive 1/2, 1/3 and 1/6 of the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.flep import FlepSystem
+from ..core.policies.ffs import FFSPolicy
+from ..gpu.device import GPUDeviceSpec
+from ..gpu.host import HostProgram
+from ..workloads.benchmarks import standard_suite
+from .report import ExperimentReport
+
+DEFAULT_TRIPLES: Tuple[Tuple[str, str, str], ...] = (
+    ("SPMV", "MM", "NN"),
+    ("VA", "PL", "CFD"),
+    ("MD", "SPMV", "PF"),
+    ("MM", "VA", "NN"),
+)
+
+
+def ffs_triple_shares(
+    kernels: Tuple[str, str, str],
+    weights: Dict[int, float],
+    device: Optional[GPUDeviceSpec] = None,
+    horizon_us: float = 50_000.0,
+    suite=None,
+) -> Dict[int, float]:
+    """Run three looping processes under FFS; return GPU share per
+    priority class."""
+    policy = FFSPolicy(weights=weights)
+    system = FlepSystem(policy=policy, device=device, suite=suite)
+    inputs = ("small", "small", "large")
+    for prio, (kernel, input_name) in enumerate(zip(kernels, inputs)):
+        system.run_program(
+            HostProgram.single_kernel(
+                f"p{prio}_{kernel}", kernel, input_name,
+                priority=prio, loop_forever=True,
+            ),
+            start_at_us=prio * 10.0,
+        )
+    system.run(until=horizon_us)
+    system.stop_all_loops()
+    busy: Dict[int, float] = {p: 0.0 for p in range(3)}
+    for inv in system.runtime.invocations:
+        for start, end in inv.record.run_segments:
+            end = end if end > start else horizon_us
+            busy[inv.priority] += min(end, horizon_us) - start
+    total = sum(busy.values())
+    return {p: t / total for p, t in busy.items()}
+
+
+def run(
+    device: Optional[GPUDeviceSpec] = None,
+    triples: Sequence[Tuple[str, str, str]] = DEFAULT_TRIPLES,
+    horizon_us: float = 50_000.0,
+) -> ExperimentReport:
+    """Regenerate the elided 3-kernel FFS results; returns the report."""
+    suite = standard_suite(device)
+    weights = {2: 3.0, 1: 2.0, 0: 1.0}
+    targets = {2: 0.5, 1: 1 / 3, 0: 1 / 6}
+    report = ExperimentReport(
+        "ffs3",
+        "FFS three-kernel co-runs (weights 3:2:1) — the elided §6.3.3",
+        paper={"share_w3_target": 0.5, "share_w2_target": 1 / 3,
+               "share_w1_target": 1 / 6},
+    )
+    for triple in triples:
+        shares = ffs_triple_shares(
+            triple, weights, device=device, horizon_us=horizon_us,
+            suite=suite,
+        )
+        report.add_row(
+            triple="_".join(triple),
+            share_w3=shares[2],
+            share_w2=shares[1],
+            share_w1=shares[0],
+            max_target_gap=max(
+                abs(shares[p] - targets[p]) for p in range(3)
+            ),
+        )
+    report.summarize("max_target_gap")
+    for label, prio in (("share_w3", 2), ("share_w2", 1), ("share_w1", 0)):
+        report.headline[f"{label}_mean"] = sum(
+            r[label] for r in report.rows
+        ) / len(report.rows)
+    return report
+
+
+def main() -> ExperimentReport:  # pragma: no cover - CLI entry
+    """Run this experiment and print its report."""
+    report = run()
+    report.print()
+    return report

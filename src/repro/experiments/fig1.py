@@ -1,0 +1,54 @@
+"""Figure 1: slowdown of high-priority kernels under plain MPS co-runs.
+
+28 pairs A_B: B runs the large input, A (small input) is invoked
+immediately after B's kernel launches. With no preemption, A queues
+behind B's CTAs; its slowdown is ``turnaround / solo``. The paper
+reports up to 32.6x.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpu.device import GPUDeviceSpec
+from .harness import CoRunHarness, Scenario
+from .pairs import hpf_priority_pairs
+from .report import ExperimentReport
+
+
+def run(
+    device: Optional[GPUDeviceSpec] = None,
+    harness: Optional[CoRunHarness] = None,
+) -> ExperimentReport:
+    """Regenerate this table/figure; returns the report."""
+    harness = harness or CoRunHarness(device)
+    report = ExperimentReport(
+        "fig1",
+        "Slowdown of high-priority kernels in MPS-based co-runs",
+        paper={"slowdown_max": 32.6},
+    )
+    for pair in hpf_priority_pairs():
+        scenario = Scenario.pair(low=pair.low, high=pair.high)
+        outcome = harness.run_mps(scenario)
+        key = (f"proc_{pair.high}", pair.high, "small")
+        report.add_row(
+            pair=pair.name,
+            high=pair.high,
+            low=pair.low,
+            turnaround_us=outcome.turnaround_us[key],
+            solo_us=outcome.solo_us[key],
+            slowdown=outcome.slowdown(key),
+        )
+    report.summarize("slowdown")
+    report.notes.append(
+        "slowdown = co-run turnaround / solo turnaround of the kernel "
+        "launched second (small input)"
+    )
+    return report
+
+
+def main() -> ExperimentReport:  # pragma: no cover - CLI entry
+    """Run this experiment and print its report."""
+    report = run()
+    report.print()
+    return report

@@ -1,0 +1,56 @@
+"""Figure 11: system-throughput degradation for the Figure-10 co-runs.
+
+FLEP trades a little total throughput (transformed-kernel overhead, the
+drain, the victim's relaunch) for the large ANTT gains. We measure the
+degradation as the relative increase of the co-run makespan over the
+MPS baseline — total work is identical, so throughput degradation is
+exactly the makespan stretch. The paper reports ~5.4 % on average.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gpu.device import GPUDeviceSpec
+from .harness import CoRunHarness, Scenario
+from .pairs import equal_priority_pairs
+from .report import ExperimentReport
+
+
+def run(
+    device: Optional[GPUDeviceSpec] = None,
+    harness: Optional[CoRunHarness] = None,
+) -> ExperimentReport:
+    """Regenerate this table/figure; returns the report."""
+    harness = harness or CoRunHarness(device)
+    report = ExperimentReport(
+        "fig11",
+        "System throughput degradation (equal-priority pairs)",
+        paper={"stp_degradation_mean": 0.054},
+    )
+    for pair in equal_priority_pairs():
+        scenario = Scenario.pair(
+            low=pair.low, high=pair.high, low_priority=0, high_priority=0
+        )
+        mps = harness.run_mps(scenario)
+        flep = harness.run_flep(scenario, policy="hpf")
+        degradation = (flep.makespan_us - mps.makespan_us) / mps.makespan_us
+        report.add_row(
+            pair=pair.name,
+            mps_makespan_us=mps.makespan_us,
+            flep_makespan_us=flep.makespan_us,
+            stp_degradation=degradation,
+        )
+    report.summarize("stp_degradation")
+    report.notes.append(
+        "degradation = (FLEP makespan - MPS makespan) / MPS makespan; "
+        "identical work, so this equals the throughput loss"
+    )
+    return report
+
+
+def main() -> ExperimentReport:  # pragma: no cover - CLI entry
+    """Run this experiment and print its report."""
+    report = run()
+    report.print()
+    return report

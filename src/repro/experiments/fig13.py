@@ -1,0 +1,125 @@
+"""Figure 13: average GPU share under FFS with a 2:1 weight ratio.
+
+Same co-run pairs as the HPF experiments, but each process re-invokes
+its kernel in an infinite loop. FFS with weights 2 (high priority) : 1
+(low priority) should converge to roughly 2/3 vs 1/3 GPU time, with
+narrow variation across pairs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.flep import FlepSystem
+from ..core.policies.ffs import FFSPolicy
+from ..gpu.device import GPUDeviceSpec
+from ..gpu.host import HostProgram
+from ..metrics.multiprogram import gpu_shares, mean_share
+from ..workloads.benchmarks import standard_suite
+from .pairs import CoRunPair, hpf_priority_pairs
+from .report import ExperimentReport
+
+
+def ffs_pair_shares(
+    pair: CoRunPair,
+    device: Optional[GPUDeviceSpec] = None,
+    weights: Optional[Dict[int, float]] = None,
+    max_overhead: float = 0.10,
+    horizon_us: float = 40_000.0,
+    warmup_us: float = 5_000.0,
+    window_us: float = 2_000.0,
+    suite=None,
+    policy=None,
+) -> Dict[str, float]:
+    """Run one looping pair (each process re-invokes its kernel forever)
+    and return high/low GPU shares, total useful work, and utilization
+    over [warmup, horizon]. Default policy: FFS with the given weights;
+    pass e.g. a FIFOPolicy to measure the no-preemption reference."""
+    weights = weights or {1: 2.0, 0: 1.0}
+    if policy is None:
+        policy = FFSPolicy(weights=weights, max_overhead=max_overhead)
+    system = FlepSystem(policy=policy, device=device, suite=suite)
+    high = HostProgram.single_kernel(
+        f"hi_{pair.high}", pair.high, "small", priority=1, loop_forever=True
+    )
+    low = HostProgram.single_kernel(
+        f"lo_{pair.low}", pair.low, "large", priority=0, loop_forever=True
+    )
+    system.run_program(low, start_at_us=0.0)
+    system.run_program(high, start_at_us=10.0)
+    system.run(until=horizon_us)
+    system.stop_all_loops()
+
+    segments: Dict[str, List[Tuple[float, float]]] = {"high": [], "low": []}
+    work_us = 0.0
+    for inv in system.runtime.invocations:
+        label = "high" if inv.priority == 1 else "low"
+        for start, end in inv.record.run_segments:
+            seg_end = end if end > start else min(horizon_us, system.now)
+            s = max(start, warmup_us)
+            e = min(seg_end, horizon_us)
+            if e > s:
+                segments[label].append((s, e))
+        work_us += inv.pool.done * inv.image.task_model.mean_task_us
+    samples = gpu_shares(
+        {k: v for k, v in segments.items()},
+        window_us=window_us,
+        horizon_us=horizon_us - warmup_us,
+    )
+    # shift: gpu_shares assumes segments start at 0; we passed absolute
+    # times, so rebuild with shifted segments for correctness
+    shifted = {
+        k: [(s - warmup_us, e - warmup_us) for s, e in v]
+        for k, v in segments.items()
+    }
+    samples = gpu_shares(shifted, window_us, horizon_us - warmup_us)
+    slots = 120  # all eight kernels reach 8 CTAs/SM on the K40
+    return {
+        "high_share": mean_share(samples, "high"),
+        "low_share": mean_share(samples, "low"),
+        "work_us": work_us,
+        "utilization": work_us / (system.now * slots),
+        "quantum_us": (
+            policy.quantum_us() if isinstance(policy, FFSPolicy) else 0.0
+        ),
+    }
+
+
+def run(
+    device: Optional[GPUDeviceSpec] = None,
+    pairs: Optional[Sequence[CoRunPair]] = None,
+    horizon_us: float = 40_000.0,
+) -> ExperimentReport:
+    """Regenerate this table/figure; returns the report."""
+    suite = standard_suite(device)
+    report = ExperimentReport(
+        "fig13",
+        "Average GPU share under FFS (weights 2:1)",
+        paper={"high_share_mean": 2 / 3, "low_share_mean": 1 / 3},
+    )
+    pairs = pairs if pairs is not None else hpf_priority_pairs()
+    for pair in pairs:
+        shares = ffs_pair_shares(
+            pair, device=device, horizon_us=horizon_us, suite=suite
+        )
+        report.add_row(
+            pair=pair.name,
+            high_share=shares["high_share"],
+            low_share=shares["low_share"],
+            quantum_us=shares["quantum_us"],
+        )
+    report.summarize("high_share")
+    report.summarize("low_share")
+    highs = report.column("high_share")
+    report.headline["high_share_stdev"] = (
+        statistics.stdev(highs) if len(highs) > 1 else 0.0
+    )
+    return report
+
+
+def main() -> ExperimentReport:  # pragma: no cover - CLI entry
+    """Run this experiment and print its report."""
+    report = run()
+    report.print()
+    return report

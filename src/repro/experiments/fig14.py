@@ -1,0 +1,75 @@
+"""Figure 14: throughput degradation under FFS with max_overhead = 10 %.
+
+The quantum T is derived from the constraint
+``sum(O_i) / (T * sum(W_i)) <= max_overhead``, so the aggregate loss
+from context switching (drains + victim relaunches) should stay close
+to the configured budget. We isolate exactly that loss by comparing the
+useful work an FFS co-run delivers over a fixed horizon against the
+same looping co-run executed without preemption (FIFO run-to-completion
+over the identical transformed kernels): both pay launch and polling
+overheads, so the difference is the preemption cost FFS budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.policies.fifo import FIFOPolicy
+from ..gpu.device import GPUDeviceSpec
+from ..workloads.benchmarks import standard_suite
+from .fig13 import ffs_pair_shares
+from .pairs import CoRunPair, hpf_priority_pairs
+from .report import ExperimentReport
+
+
+def run(
+    device: Optional[GPUDeviceSpec] = None,
+    pairs: Optional[Sequence[CoRunPair]] = None,
+    max_overhead: float = 0.10,
+    horizon_us: float = 40_000.0,
+) -> ExperimentReport:
+    """Regenerate this table/figure; returns the report."""
+    suite = standard_suite(device)
+    report = ExperimentReport(
+        "fig14",
+        "Throughput degradation under FFS (max_overhead = 10%)",
+        paper={"degradation_target": max_overhead},
+    )
+    pairs = pairs if pairs is not None else hpf_priority_pairs()
+    for pair in pairs:
+        ffs = ffs_pair_shares(
+            pair,
+            device=device,
+            max_overhead=max_overhead,
+            horizon_us=horizon_us,
+            suite=suite,
+        )
+        fifo = ffs_pair_shares(
+            pair,
+            device=device,
+            horizon_us=horizon_us,
+            suite=suite,
+            policy=FIFOPolicy(),
+        )
+        degradation = 1.0 - ffs["work_us"] / fifo["work_us"]
+        report.add_row(
+            pair=pair.name,
+            ffs_work_us=ffs["work_us"],
+            fifo_work_us=fifo["work_us"],
+            degradation=degradation,
+            quantum_us=ffs["quantum_us"],
+        )
+    report.summarize("degradation")
+    report.notes.append(
+        "degradation = 1 - (FFS useful work / no-preemption useful work) "
+        "over the same horizon; isolates the preemption cost the "
+        "max_overhead constraint bounds"
+    )
+    return report
+
+
+def main() -> ExperimentReport:  # pragma: no cover - CLI entry
+    """Run this experiment and print its report."""
+    report = run()
+    report.print()
+    return report

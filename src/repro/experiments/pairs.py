@@ -1,0 +1,95 @@
+"""Co-run pair and triplet definitions (§6.3).
+
+* **HPF priority pairs** (Figures 1, 8, 9): CFD/NN/PF/PL run the large
+  input at low priority; each is paired with each *other* benchmark
+  running the small input at high priority — 4 x 7 = 28 pairs.
+* **Equal-priority pairs** (Figures 10, 11): each of MD/MM/SPMV/VA runs
+  the small input together with each of the other 7 benchmarks on the
+  large input — 28 pairs.
+* **Triplets** (Figure 12): 28 random A_B_C triplets — A on the large
+  input launched first, then B and C on their small inputs. The paper's
+  highlighted triplet VA_SPMV_MM is always included.
+* **Spatial pairs** (Figure 15): every ordered pair — low-priority
+  large kernel, then a high-priority *trivial* kernel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..workloads.benchmarks import BENCHMARK_NAMES
+
+#: Low-priority large-input victims for the priority experiments.
+HPF_LOW_PRIORITY = ("CFD", "NN", "PF", "PL")
+
+#: Small-input co-runners for the equal-priority experiments.
+EQUAL_PRIORITY_SHORT = ("MD", "MM", "SPMV", "VA")
+
+
+@dataclass(frozen=True)
+class CoRunPair:
+    """``name`` follows the paper's A_B convention: A is the later,
+    (usually) favoured kernel; B is the long-running one."""
+
+    high: str       # kernel launched second (small/trivial input)
+    low: str        # kernel launched first (large input)
+
+    @property
+    def name(self) -> str:
+        return f"{self.high}_{self.low}"
+
+
+@dataclass(frozen=True)
+class CoRunTriplet:
+    first: str      # large input, launched first
+    second: str     # small input
+    third: str      # small input
+
+    @property
+    def name(self) -> str:
+        return f"{self.first}_{self.second}_{self.third}"
+
+
+def hpf_priority_pairs() -> List[CoRunPair]:
+    """28 pairs: high-priority small kernel vs low-priority large."""
+    pairs = []
+    for low in HPF_LOW_PRIORITY:
+        for high in BENCHMARK_NAMES:
+            if high != low:
+                pairs.append(CoRunPair(high=high, low=low))
+    return pairs
+
+
+def equal_priority_pairs() -> List[CoRunPair]:
+    """28 pairs: short (small input) kernel + each other large kernel."""
+    pairs = []
+    for short in EQUAL_PRIORITY_SHORT:
+        for long_ in BENCHMARK_NAMES:
+            if long_ != short:
+                pairs.append(CoRunPair(high=short, low=long_))
+    return pairs
+
+
+def spatial_pairs() -> List[CoRunPair]:
+    """All ordered pairs for the spatial-preemption study (§6.4)."""
+    pairs = []
+    for low in BENCHMARK_NAMES:
+        for high in BENCHMARK_NAMES:
+            if high != low:
+                pairs.append(CoRunPair(high=high, low=low))
+    return pairs
+
+
+def random_triplets(n: int = 28, seed: int = 2017) -> List[CoRunTriplet]:
+    """``n`` random triplets, always including the paper's VA_SPMV_MM."""
+    rng = random.Random(seed)
+    chosen = {("VA", "SPMV", "MM")}
+    while len(chosen) < n:
+        a, b, c = rng.sample(BENCHMARK_NAMES, 3)
+        chosen.add((a, b, c))
+    triplets = [CoRunTriplet(*t) for t in sorted(chosen)]
+    # keep the highlighted triplet first for readability
+    triplets.sort(key=lambda t: t.name != "VA_SPMV_MM")
+    return triplets

@@ -1,0 +1,99 @@
+"""Uniform experiment reporting.
+
+Every figure/table module produces an :class:`ExperimentReport`: a named
+set of rows plus headline numbers and the paper's reference values, so
+the CLI and the bench harness print paper-vs-measured side by side (and
+EXPERIMENTS.md is generated from the same data).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table or figure."""
+
+    experiment_id: str                 # e.g. "fig8"
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    headline: Dict[str, float] = field(default_factory=dict)
+    paper: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_row(self, **fields) -> None:
+        self.rows.append(dict(fields))
+
+    def column(self, name: str) -> List[float]:
+        try:
+            return [float(r[name]) for r in self.rows]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.experiment_id}: no column {name!r}"
+            ) from None
+
+    def summarize(self, name: str, prefix: Optional[str] = None) -> None:
+        """Add mean/max/min of a column to the headline."""
+        values = self.column(name)
+        p = prefix or name
+        self.headline[f"{p}_mean"] = statistics.mean(values)
+        self.headline[f"{p}_max"] = max(values)
+        self.headline[f"{p}_min"] = min(values)
+
+    # ------------------------------------------------------------------
+    def format_table(self, float_fmt: str = "{:.3g}") -> str:
+        if not self.rows:
+            return "(no rows)"
+        cols = list(self.rows[0].keys())
+        table = [cols]
+        for row in self.rows:
+            table.append(
+                [
+                    float_fmt.format(v) if isinstance(v, float) else str(v)
+                    for v in (row.get(c, "") for c in cols)
+                ]
+            )
+        widths = [max(len(r[i]) for r in table) for i in range(len(cols))]
+        lines = []
+        for i, row in enumerate(table):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def format(self) -> str:
+        out = [f"== {self.experiment_id}: {self.title} ==", self.format_table()]
+        if self.headline:
+            out.append("")
+            out.append("headline (measured):")
+            for k, v in self.headline.items():
+                ref = ""
+                if k in self.paper:
+                    ref = f"   [paper: {self.paper[k]:.3g}]"
+                out.append(f"  {k:30s} {v:10.4g}{ref}")
+        for k, v in self.paper.items():
+            if k not in self.headline:
+                out.append(f"  (paper-only reference) {k} = {v:.4g}")
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.format())
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values or any(v <= 0 for v in values):
+        raise ExperimentError("geo_mean needs positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

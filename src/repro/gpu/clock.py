@@ -1,0 +1,51 @@
+"""Simulated clock utilities.
+
+The whole simulator measures time in **microseconds** as floats, matching
+the unit the paper reports in Table 1. :class:`Clock` is a tiny mutable
+holder so that every component can share one monotonically-advancing time
+source owned by the event engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+#: One millisecond expressed in simulator time units (microseconds).
+MILLISECOND = 1_000.0
+#: One second expressed in simulator time units (microseconds).
+SECOND = 1_000_000.0
+
+
+class Clock:
+    """Monotonic simulated clock in microseconds.
+
+    Only the event engine should call :meth:`advance_to`; everything else
+    reads :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`SimulationError` on attempts to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock would move backwards: {self._now} -> {t}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f}us)"

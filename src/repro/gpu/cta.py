@@ -1,0 +1,325 @@
+"""CTA execution contexts.
+
+A :class:`CTAContext` is one resident CTA slot executing a grid's tasks.
+Original kernels and FLEP persistent kernels run through the same context
+machinery (see :mod:`repro.gpu.kernel`); the differences are:
+
+========================  =================  ==========================
+                          ORIGINAL           PERSISTENT (FLEP)
+========================  =================  ==========================
+task pull cost            0 (hardware)       ``task_pull_us`` (atomic)
+flag poll                 never              every ``L`` tasks
+preemption                impossible         at the next poll boundary
+========================  =================  ==========================
+
+To keep event counts low the context claims a *batch* of tasks and
+schedules a single completion event. When the host writes the preemption
+flag, the context re-plans: it computes the first poll boundary at which
+the device-visible flag value demands a yield, finishes exactly the tasks
+processed by then, returns the rest to the pool, and releases its SM.
+This reproduces Figure 4's semantics exactly while staying
+``O(contexts x preemption epochs)`` in events.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional, TYPE_CHECKING
+
+from ..errors import SchedulingError, SimulationError
+from .events import EventHandle, maybe_cancel
+from .kernel import KernelMode
+from .memory import should_yield
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .grid import Grid
+    from .sm import SM
+
+_EPS = 1e-9
+
+
+class CTAState(enum.Enum):
+    """Lifecycle of one resident CTA slot."""
+
+    RUNNING = "running"
+    YIELDED = "yielded"      # quit due to a preemption flag
+    FINISHED = "finished"    # pool exhausted
+
+
+class CTAContext:
+    """One resident CTA slot processing batches of tasks."""
+
+    def __init__(self, grid: "Grid", ctx_id: int, sm: "SM"):
+        self.grid = grid
+        self.ctx_id = ctx_id
+        self.sm = sm
+        self.state = CTAState.RUNNING
+        self.tasks_done = 0
+        self.started_at = grid.sim.now
+        self.ended_at: Optional[float] = None
+        # per-context task-time multiplier (input irregularity)
+        self.task_mult = grid.kernel.task_model.sample_multiplier(grid.rng)
+
+        # current batch
+        self._batch_start = 0.0
+        self._batch_size = 0
+        self._completion: Optional[EventHandle] = None
+        self._yield_event: Optional[EventHandle] = None
+        self._started = False
+        #: tasks processed since the last flag poll, in [0, L). Polls
+        #: happen exactly every L tasks *across* batch boundaries, so a
+        #: sub-L tail batch does not cost an extra poll.
+        self._since_poll = 0
+
+    def start(self) -> None:
+        """Begin execution. Called by the device *after* SM admission, so
+        that resource accounting is consistent even if the context
+        finishes instantly (empty pool)."""
+        if self._started:
+            raise SchedulingError(f"context {self!r} started twice")
+        self._started = True
+        self.grid.pool.worker_joined()
+        self._begin_next_batch()
+
+    # ------------------------------------------------------------------
+    # timing helpers
+    # ------------------------------------------------------------------
+    @property
+    def _is_persistent(self) -> bool:
+        return self.grid.kernel.mode is KernelMode.PERSISTENT
+
+    @property
+    def _task_time(self) -> float:
+        return self.grid.kernel.task_model.mean_task_us * self.task_mult
+
+    @property
+    def _per_task(self) -> float:
+        """Time for one task including the atomic pull."""
+        pull = self.grid.costs.task_pull_us if self._is_persistent else 0.0
+        return self._task_time + pull
+
+    @property
+    def _poll_cost(self) -> float:
+        return self.grid.costs.pinned_poll_us if self._is_persistent else 0.0
+
+    @property
+    def _amortize(self) -> int:
+        return self.grid.kernel.amortize_l if self._is_persistent else 1
+
+    def _first_poll_index(self) -> int:
+        """Task index within the current batch at which the first poll
+        fires: 0 if the batch starts on a poll boundary, else the task
+        that completes the current L-group."""
+        L = self._amortize
+        return (L - self._since_poll) % L
+
+    def _polls_in_batch(self, batch: int) -> int:
+        """Number of flag polls performed while processing ``batch``
+        tasks, given the persistent offset."""
+        if not self._is_persistent or batch <= 0:
+            return 0
+        first = self._first_poll_index()
+        if first >= batch:
+            return 0
+        return 1 + (batch - 1 - first) // self._amortize
+
+    def _batch_duration(self, batch: int) -> float:
+        return (
+            self._polls_in_batch(batch) * self._poll_cost
+            + batch * self._per_task
+        )
+
+    def _poll_read_start(self, m: int) -> float:
+        """Time the m-th in-batch poll (m >= 0) begins reading the flag:
+        all earlier polls plus all earlier tasks have completed."""
+        j = self._first_poll_index() + m * self._amortize
+        return self._batch_start + m * self._poll_cost + j * self._per_task
+
+    def _poll_task_index(self, m: int) -> int:
+        """Tasks of this batch completed when the m-th poll fires."""
+        return self._first_poll_index() + m * self._amortize
+
+    # ------------------------------------------------------------------
+    # batch lifecycle
+    # ------------------------------------------------------------------
+    def _begin_next_batch(self) -> None:
+        """If on a poll boundary, poll the flag; then claim and run the
+        next batch. Between boundaries the flag is never observed."""
+        grid = self.grid
+        now = grid.sim.now
+        if (
+            self._is_persistent
+            and grid.flag is not None
+            and self._since_poll == 0
+        ):
+            value = grid.flag.device_read(now)
+            if should_yield(self.sm.sm_id, value, grid.kernel.supports_spatial):
+                # the boundary poll itself still costs one pinned read
+                self._schedule_yield(now + self._poll_cost, finished_in_batch=0)
+                return
+
+        batch = grid.next_batch_size(self)
+        if batch == 0:
+            self._finish(now)
+            return
+        taken = grid.pool.take(batch)
+        if taken == 0:
+            self._finish(now)
+            return
+        self._batch_start = now
+        self._batch_size = taken
+        duration = self._batch_duration(taken)
+        self._completion = grid.sim.schedule(
+            duration,
+            self._on_batch_complete,
+            label=f"{grid.kernel.name}/ctx{self.ctx_id}/batch",
+        )
+        if self._is_persistent and grid.flag is not None:
+            # a flag written before this batch started may bite mid-batch
+            self.replan()
+
+    def _on_batch_complete(self) -> None:
+        self._completion = None
+        batch = self._batch_size
+        self.tasks_done += batch
+        self.grid.pool.finish(batch)
+        if self._is_persistent:
+            self._since_poll = (self._since_poll + batch) % self._amortize
+        self._batch_size = 0
+        self.grid.notify_progress()
+        self._begin_next_batch()
+
+    def _finish(self, now: float) -> None:
+        if self.state is not CTAState.RUNNING:
+            raise SchedulingError("context finished twice")
+        self.state = CTAState.FINISHED
+        self.ended_at = now
+        self._teardown_events()
+        self.grid.context_done(self)
+
+    # ------------------------------------------------------------------
+    # preemption
+    # ------------------------------------------------------------------
+    def replan(self) -> None:
+        """Recompute this context's fate after a flag write.
+
+        Scans the flag's (short) write history for the first poll
+        boundary of the current batch at which the device-visible value
+        demands a yield; schedules/cancels the yield event accordingly.
+        """
+        if self.state is not CTAState.RUNNING or not self._is_persistent:
+            return
+        grid = self.grid
+        if grid.flag is None or self._batch_size == 0:
+            return
+
+        yield_m = self._first_yield_poll()
+        if yield_m is None:
+            # no mid-batch yield; restore the completion event if a
+            # previously-planned yield was cancelled by a flag clear
+            maybe_cancel(self._yield_event)
+            self._yield_event = None
+            if self._completion is None or self._completion.cancelled:
+                tc = self._batch_start + self._batch_duration(self._batch_size)
+                self._completion = grid.sim.schedule_at(
+                    max(tc, grid.sim.now),
+                    self._on_batch_complete,
+                    label=f"{grid.kernel.name}/ctx{self.ctx_id}/batch",
+                )
+            return
+
+        finished = min(self._poll_task_index(yield_m), self._batch_size)
+        yield_at = self._poll_read_start(yield_m) + self._poll_cost
+        maybe_cancel(self._completion)
+        self._completion = None
+        maybe_cancel(self._yield_event)
+        self._yield_event = grid.sim.schedule_at(
+            max(yield_at, grid.sim.now),
+            lambda: self._do_yield(finished),
+            label=f"{grid.kernel.name}/ctx{self.ctx_id}/yield",
+        )
+
+    def _first_yield_poll(self) -> Optional[int]:
+        """Ordinal ``m`` of the first *mid-batch* poll that observes a
+        yield-demanding flag value, or ``None``.
+
+        The poll at the very start of the batch (task index 0, only when
+        the batch begins on a boundary) already ran synchronously in
+        ``_begin_next_batch``, so it is excluded. Walks the flag's
+        (short) piecewise-constant write history, solving for the first
+        poll ordinal in each demanding interval — O(history), not
+        O(batch/L).
+        """
+        grid = self.grid
+        n_polls = self._polls_in_batch(self._batch_size)
+        if n_polls <= 0:
+            return None
+        # the m=0 poll is mid-batch unless it sits at task index 0
+        m_lo = 1 if self._first_poll_index() == 0 else 0
+        if m_lo >= n_polls:
+            return None
+        period = self._poll_cost + self._amortize * self._per_task
+        history = grid.flag._history  # (visible_at, value), sorted
+        spatial = grid.kernel.supports_spatial
+        best: Optional[int] = None
+        for visible_at, value in history:
+            if not should_yield(self.sm.sm_id, value, spatial):
+                continue
+            # smallest m with poll_read_start(m) >= visible_at
+            base = self._poll_read_start(0)
+            if visible_at <= base + _EPS:
+                m = 0
+            else:
+                m = math.ceil((visible_at - base) / period - _EPS)
+            m = max(m, m_lo)
+            if m >= n_polls:
+                continue
+            # the value actually observed at that poll must still demand
+            # a yield (a later write may have cleared it)
+            observed = grid.flag.device_read(self._poll_read_start(m) + _EPS)
+            if not should_yield(self.sm.sm_id, observed, spatial):
+                continue
+            if best is None or m < best:
+                best = m
+        return best
+
+    def _schedule_yield(self, at: float, finished_in_batch: int) -> None:
+        self._yield_event = self.grid.sim.schedule_at(
+            max(at, self.grid.sim.now),
+            lambda: self._do_yield(finished_in_batch),
+            label=f"{self.grid.kernel.name}/ctx{self.ctx_id}/yield",
+        )
+
+    def _do_yield(self, finished_in_batch: int) -> None:
+        if self.state is not CTAState.RUNNING:
+            return
+        self._yield_event = None
+        pool = self.grid.pool
+        if self._batch_size:
+            if finished_in_batch > self._batch_size:
+                raise SimulationError("yield finished more tasks than batch")
+            pool.finish(finished_in_batch)
+            pool.give_back(self._batch_size - finished_in_batch)
+            self.tasks_done += finished_in_batch
+            self._batch_size = 0
+        self.state = CTAState.YIELDED
+        self.ended_at = self.grid.sim.now
+        self._teardown_events()
+        self.grid.context_yielded(self)
+
+    # ------------------------------------------------------------------
+    def _teardown_events(self) -> None:
+        if self._started:
+            self.grid.pool.worker_left()
+            self._started = False
+        maybe_cancel(self._completion)
+        maybe_cancel(self._yield_event)
+        self._completion = None
+        self._yield_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CTAContext({self.grid.kernel.name}#{self.ctx_id}, "
+            f"sm={self.sm.sm_id}, {self.state.value}, done={self.tasks_done})"
+        )

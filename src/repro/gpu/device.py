@@ -1,0 +1,147 @@
+"""GPU device description and cost model.
+
+The default device mirrors the paper's testbed: an NVIDIA Tesla K40
+(Kepler GK110B, compute capability 3.5) with 15 SMs. Resource limits are
+the published CC 3.5 numbers; the cost model collects the latency
+constants the simulator charges for launches, pinned-memory polls, atomic
+task pulls and PCIe transfers. Those constants are what DESIGN.md §6 calls
+the calibration anchors — Table 1's execution times are solved against
+them by :mod:`repro.workloads.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ResourceError
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency constants (microseconds) charged by the simulator.
+
+    These reproduce the *relative* costs the paper leans on:
+
+    * ``kernel_launch_us`` — driver/launch overhead per kernel command.
+      This is what makes kernel slicing expensive (Figure 17) and what
+      dominates Table 1's trivial-input times (49–90 µs).
+    * ``pinned_poll_us`` — one read of the ``temp_P``/``spa_P`` flag in
+      pinned host memory over PCIe. Amortized over ``L`` tasks; FLEP's
+      offline tuner picks the smallest ``L`` keeping poll overhead < 4 %.
+    * ``task_pull_us`` — one atomic fetch-add on the global task counter
+      (single thread per CTA, mostly L2-resident, hence cheap). This is
+      the floor FLEP's amortizing factor cannot tune away — the reason
+      VA (tiny tasks) is FLEP's worst case in Figure 17.
+    * ``preempt_signal_us`` — delay from the host writing the flag until
+      device-side polls can observe it.
+    * ``slice_gap_us`` — back-to-back dispatch gap between pipelined
+      kernel launches in one stream. Kernel slicing pays this per slice
+      boundary (plus the CPU-side preemption check), which is its
+      overhead source in Figure 17.
+    """
+
+    kernel_launch_us: float = 50.0
+    pinned_poll_us: float = 1.0
+    task_pull_us: float = 0.02
+    preempt_signal_us: float = 1.0
+    slice_gap_us: float = 4.0
+    pcie_bandwidth_gbps: float = 10.0  # effective H2D/D2H bandwidth
+    pcie_latency_us: float = 5.0
+
+    def transfer_time_us(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across PCIe, latency + bandwidth."""
+        if nbytes < 0:
+            raise ResourceError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        bytes_per_us = self.pcie_bandwidth_gbps * 1e9 / 8 / 1e6
+        return self.pcie_latency_us + nbytes / bytes_per_us
+
+
+@dataclass(frozen=True)
+class GPUDeviceSpec:
+    """Static hardware description of the simulated GPU."""
+
+    name: str = "Tesla K40"
+    compute_capability: tuple = (3, 5)
+    num_sms: int = 15
+    max_threads_per_sm: int = 2048
+    max_ctas_per_sm: int = 16
+    max_warps_per_sm: int = 64
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 48 * KIB
+    max_threads_per_cta: int = 1024
+    max_registers_per_thread: int = 255
+    warp_size: int = 32
+    # allocation granularities (CC 3.5)
+    register_alloc_unit: int = 256       # registers, per warp
+    shared_mem_alloc_unit: int = 256     # bytes
+    warp_alloc_granularity: int = 4
+    device_memory_bytes: int = 12 * 1024**3
+    costs: CostModel = field(default_factory=CostModel)
+
+    def with_costs(self, **overrides) -> "GPUDeviceSpec":
+        """Return a copy with some cost-model constants replaced."""
+        return replace(self, costs=replace(self.costs, **overrides))
+
+    def with_sms(self, num_sms: int) -> "GPUDeviceSpec":
+        """Return a copy with a different SM count (for sweeps)."""
+        if num_sms <= 0:
+            raise ResourceError(f"num_sms must be positive, got {num_sms}")
+        return replace(self, num_sms=num_sms)
+
+    @property
+    def total_cta_slots(self) -> int:
+        """Upper bound on simultaneously active CTAs, ignoring per-kernel
+        resource limits (``num_sms * max_ctas_per_sm``)."""
+        return self.num_sms * self.max_ctas_per_sm
+
+
+def tesla_k40(**cost_overrides) -> GPUDeviceSpec:
+    """The paper's GPU: Tesla K40, 15 SMs, CC 3.5, 12 GB."""
+    spec = GPUDeviceSpec()
+    if cost_overrides:
+        spec = spec.with_costs(**cost_overrides)
+    return spec
+
+
+def pascal_p100(**cost_overrides) -> GPUDeviceSpec:
+    """A Pascal-class device (GP100: 56 SMs, CC 6.0).
+
+    The paper notes Pascal is the first architecture *claiming*
+    hardware preemption, with no exposed software control (§1) — FLEP
+    still applies. Useful for device-generalization tests: more SMs,
+    smaller per-SM CTA slots.
+    """
+    spec = GPUDeviceSpec(
+        name="Tesla P100",
+        compute_capability=(6, 0),
+        num_sms=56,
+        max_threads_per_sm=2048,
+        max_ctas_per_sm=32,
+        max_warps_per_sm=64,
+        registers_per_sm=65536,
+        shared_mem_per_sm=64 * KIB,
+        device_memory_bytes=16 * 1024**3,
+    )
+    if cost_overrides:
+        spec = spec.with_costs(**cost_overrides)
+    return spec
+
+
+def small_test_gpu(num_sms: int = 2, max_ctas_per_sm: int = 2) -> GPUDeviceSpec:
+    """A tiny device matching Figure 2's illustration (2 SMs x 2 CTAs).
+
+    Used heavily by unit tests, where hand-computing schedules must stay
+    tractable.
+    """
+    return GPUDeviceSpec(
+        name="TestGPU",
+        num_sms=num_sms,
+        max_ctas_per_sm=max_ctas_per_sm,
+        max_threads_per_sm=2048,
+        registers_per_sm=65536,
+        shared_mem_per_sm=48 * KIB,
+    )

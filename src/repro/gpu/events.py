@@ -1,0 +1,85 @@
+"""Event primitives for the discrete-event engine.
+
+Events are cancellable: a scheduled :class:`Event` keeps a ``cancelled``
+flag instead of being removed from the heap (lazy deletion). This is what
+lets persistent-thread CTAs "fast-forward" — they schedule one far-future
+completion event and, when a preemption flag arrives, that event is
+cancelled and re-planned at the next poll boundary (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A single scheduled callback.
+
+    Ordering is ``(time, priority, seq)`` so that simultaneous events fire
+    deterministically: lower ``priority`` first, then insertion order.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = 0,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the engine skips it when popped."""
+        self.cancelled = True
+
+    def sort_key(self):
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, {self.label!r}, {state})"
+
+
+class EventHandle:
+    """Opaque handle returned by ``Simulator.schedule``.
+
+    Holding a handle lets a component cancel or inspect its own event
+    without reaching into the engine's heap.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+def maybe_cancel(handle: Optional[EventHandle]) -> None:
+    """Cancel ``handle`` if it is not ``None`` (common idiom)."""
+    if handle is not None:
+        handle.cancel()

@@ -1,0 +1,193 @@
+"""The simulated GPU: SMs + hardware dispatcher + memories.
+
+The dispatcher reproduces the non-preemptive hardware semantics of §2.1:
+grids enter a device-wide FIFO; the head grid's CTAs are dispatched to
+SMs as resources free, and **later grids are blocked while the head grid
+still has undispatched CTAs**. Once a grid is fully dispatched (e.g. a
+small grid, or a FLEP persistent launch), the next grid's CTAs may fill
+whatever SM slots remain — that is exactly the MPS leftover-resource
+sharing the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError
+from .device import GPUDeviceSpec, tesla_k40
+from .grid import Grid, GridState
+from .kernel import KernelImage, LaunchConfig, TaskPool
+from .memory import DeviceMemory, PinnedFlag
+from .sim import Simulator
+from .sm import SM
+
+
+class SimulatedGPU:
+    """Device facade: owns the SMs, device memory and the grid FIFO."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: Optional[GPUDeviceSpec] = None,
+        seed: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.spec = spec if spec is not None else tesla_k40()
+        self.sms: List[SM] = [SM(i, self.spec) for i in range(self.spec.num_sms)]
+        self.memory = DeviceMemory(self.spec.device_memory_bytes)
+        self.rng = random.Random(seed) if seed is not None else None
+        self._queue: List[Grid] = []
+        self._dispatching = False
+        self._dispatch_again = False
+        self.launch_count = 0
+        self.completed_grids: List[Grid] = []
+        #: optional Timeline recorder (repro.gpu.trace)
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def new_flag(self) -> PinnedFlag:
+        """Allocate a preemption flag in pinned host memory."""
+        return PinnedFlag(self.sim, self.spec.costs.preempt_signal_us)
+
+    def launch(
+        self,
+        kernel: KernelImage,
+        config: LaunchConfig,
+        pool: Optional[TaskPool] = None,
+        flag: Optional[PinnedFlag] = None,
+        tag: Optional[dict] = None,
+        on_complete: Optional[Callable[[Grid], None]] = None,
+        on_preempted: Optional[Callable[[Grid], None]] = None,
+        launch_overhead_us: Optional[float] = None,
+    ) -> Grid:
+        """Send a kernel-launch command; the grid reaches the hardware
+        queue after the driver's launch overhead.
+
+        ``launch_overhead_us`` overrides the default synchronous launch
+        cost — kernel slicing uses the (much smaller) pipelined dispatch
+        gap for back-to-back slices.
+        """
+        grid = Grid(
+            self.sim,
+            self.spec,
+            kernel,
+            config,
+            pool=pool,
+            flag=flag,
+            rng=self.rng,
+            tag=tag,
+            on_complete=on_complete,
+            on_preempted=on_preempted,
+        )
+        grid.device = self
+        self.launch_count += 1
+        overhead = (
+            self.spec.costs.kernel_launch_us
+            if launch_overhead_us is None
+            else launch_overhead_us
+        )
+        self.sim.schedule(
+            overhead,
+            lambda: self._enqueue(grid),
+            label=f"launch:{kernel.name}",
+        )
+        return grid
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._queue and all(sm.idle for sm in self.sms)
+
+    def active_grids(self) -> List[Grid]:
+        return [g for g in self._queue if not g.is_terminal]
+
+    def free_cta_slots(self) -> int:
+        return sum(sm.free_cta_slots() for sm in self.sms)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _enqueue(self, grid: Grid) -> None:
+        if grid.is_terminal:
+            return
+        self._queue.append(grid)
+        self._dispatch()
+
+    def _pick_sm(self, grid: Grid) -> Optional[SM]:
+        """Choose the SM with the most free CTA slots (ties: lowest id).
+
+        This spreads persistent CTAs across all SMs — required for
+        FLEP's launch-geometry guarantee — and naturally lands a
+        preempting kernel on the SMs spatial preemption just freed.
+        """
+        best: Optional[SM] = None
+        for sm in self.sms:
+            if not sm.can_host(grid.kernel.resources):
+                continue
+            if sm.free_cta_slots() >= grid.ctas_per_sm:
+                # fast path: completely (or sufficiently) free SM
+                if best is None or sm.free_cta_slots() > best.free_cta_slots():
+                    best = sm
+            elif best is None or sm.free_cta_slots() > best.free_cta_slots():
+                best = sm
+        return best
+
+    def _dispatch(self) -> None:
+        if self._dispatching:
+            self._dispatch_again = True
+            return
+        self._dispatching = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                self._dispatch_again = False
+                for grid in list(self._queue):
+                    if grid.is_terminal:
+                        self._queue.remove(grid)
+                        continue
+                    while grid.wants_dispatch():
+                        sm = self._pick_sm(grid)
+                        if sm is None:
+                            break
+                        ctx = grid.place_context(sm)
+                        sm.admit(ctx, grid.kernel.resources)
+                        if self.tracer is not None:
+                            self.tracer.context_placed(ctx, grid)
+                        ctx.start()
+                        progressed = True
+                        if grid.is_terminal:
+                            break
+                    if grid.blocks_queue:
+                        # head-of-line blocking: later grids must wait
+                        break
+                if self._dispatch_again:
+                    progressed = True
+        finally:
+            self._dispatching = False
+
+    # -- grid callbacks --------------------------------------------------
+    def on_context_released(self, ctx=None) -> None:
+        if self.tracer is not None and ctx is not None:
+            self.tracer.context_retired(ctx, self.sim.now)
+        self._dispatch()
+
+    def on_grid_terminal(self, grid: Grid) -> None:
+        if grid in self._queue:
+            self._queue.remove(grid)
+        if grid.state is GridState.COMPLETE:
+            self.completed_grids.append(grid)
+        self._dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        busy = sum(0 if sm.idle else 1 for sm in self.sms)
+        return (
+            f"SimulatedGPU({self.spec.name}, queue={len(self._queue)}, "
+            f"busy_sms={busy}/{self.spec.num_sms})"
+        )

@@ -1,0 +1,314 @@
+"""A launched kernel grid and its lifecycle on the device.
+
+States::
+
+    QUEUED ──(first context placed)──> RUNNING ──(pool drained)──> COMPLETE
+                                          │
+                                          └──(all contexts yield)──> PREEMPTED
+
+A spatially-preempted grid stays RUNNING with fewer contexts (the paper:
+"all the other CTAs keep running until all tasks of the victim kernel are
+processed"). A PREEMPTED grid is terminal; resuming relaunches a fresh
+grid that *shares the same* :class:`~repro.gpu.kernel.TaskPool`, so only
+the unfinished tasks run again.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, List, Optional, Set
+
+from ..errors import SchedulingError, SimulationError
+from .cta import CTAContext, CTAState
+from .device import CostModel, GPUDeviceSpec
+from .kernel import (
+    KernelImage,
+    KernelMode,
+    LaunchConfig,
+    TaskPool,
+    guided_batch,
+)
+from .memory import PinnedFlag, should_yield
+from .occupancy import max_ctas_per_sm
+from .sim import Simulator
+
+
+class GridState(enum.Enum):
+    """Lifecycle of a launched grid (see the module docstring)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    COMPLETE = "complete"
+
+
+class Grid:
+    """One kernel launch being executed by the simulated device."""
+
+    _next_id = 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: GPUDeviceSpec,
+        kernel: KernelImage,
+        config: LaunchConfig,
+        pool: Optional[TaskPool] = None,
+        flag: Optional[PinnedFlag] = None,
+        rng: Optional[random.Random] = None,
+        tag: Optional[dict] = None,
+        on_complete: Optional[Callable[["Grid"], None]] = None,
+        on_preempted: Optional[Callable[["Grid"], None]] = None,
+    ):
+        if kernel.mode is KernelMode.PERSISTENT and flag is None:
+            raise SimulationError(
+                f"persistent kernel {kernel.name} launched without a flag"
+            )
+        self.grid_id = Grid._next_id
+        Grid._next_id += 1
+        self.sim = sim
+        self.spec = spec
+        self.costs: CostModel = spec.costs
+        self.kernel = kernel
+        self.config = config
+        self.pool = pool if pool is not None else TaskPool(config.total_tasks)
+        self.flag = flag
+        self.rng = rng
+        self.tag = tag or {}
+        self.on_complete = on_complete
+        self.on_preempted = on_preempted
+
+        self.state = GridState.QUEUED
+        self.launched_at = sim.now
+        self.first_dispatch_at: Optional[float] = None
+        self.ended_at: Optional[float] = None
+        self.preempt_requested_at: Optional[float] = None
+
+        self.contexts: Set[CTAContext] = set()
+        self._next_ctx_id = 0
+        self._placed = 0
+        self.yielded_contexts = 0
+        self.finished_contexts = 0
+        self.ctas_per_sm = max_ctas_per_sm(spec, kernel.resources)
+
+        if self.flag is not None and kernel.mode is KernelMode.PERSISTENT:
+            self.flag.watch(self._on_flag_write)
+
+    # ------------------------------------------------------------------
+    # dispatcher interface
+    # ------------------------------------------------------------------
+    @property
+    def unplaced_contexts(self) -> int:
+        """CTAs launched but not yet hosted on an SM."""
+        if self.is_terminal:
+            return 0
+        if self.kernel.mode is KernelMode.PERSISTENT:
+            remaining = self.config.grid_ctas - self._placed
+            # don't place more workers than tasks left to claim
+            return max(0, min(remaining, self.pool.remaining))
+        # original: one CTA per task still waiting in the hardware queue
+        return self.pool.remaining
+
+    @property
+    def blocks_queue(self) -> bool:
+        """Does this grid still hold the head of the hardware FIFO?
+
+        Later grids' CTAs cannot be dispatched while this is true (§2.1:
+        a kernel occupies the GPU until all its CTAs are dispatched).
+        """
+        return not self.is_terminal and self.unplaced_contexts > 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in (GridState.PREEMPTED, GridState.COMPLETE)
+
+    def place_context(self, sm) -> CTAContext:
+        """Dispatcher hosts one CTA of this grid on ``sm``."""
+        if self.is_terminal:
+            raise SchedulingError(f"placing context on terminal grid {self}")
+        if self.unplaced_contexts <= 0:
+            raise SchedulingError(f"grid {self} has no CTAs waiting")
+        if self.first_dispatch_at is None:
+            self.first_dispatch_at = self.sim.now
+            self.state = GridState.RUNNING
+        # Original kernels: a pending preemption flag cannot stop CTAs,
+        # but placement still consumes the queue. Persistent kernels with
+        # a yield-demanding flag visible *now* would quit instantly; the
+        # dispatcher avoids that by consulting `wants_dispatch`.
+        self._placed += 1
+        ctx = CTAContext(self, self._next_ctx_id, sm)
+        self._next_ctx_id += 1
+        self.contexts.add(ctx)
+        return ctx
+
+    def wants_dispatch(self) -> bool:
+        """Should the dispatcher currently place CTAs of this grid?
+
+        A persistent grid whose flag demands a full yield should not have
+        new CTAs placed (the host has conceptually not relaunched it).
+        """
+        if self.unplaced_contexts <= 0:
+            return False
+        if (
+            self.kernel.mode is KernelMode.PERSISTENT
+            and self.flag is not None
+            and should_yield(
+                0, self.flag.last_written, spatial_capable=False
+            )
+        ):
+            # any pending non-zero flag: pause placement of new CTAs on
+            # yielding SMs; for simplicity pause all placement while a
+            # temporal (all-SM) preemption is pending
+            if not self.kernel.supports_spatial or (
+                self.flag.last_written >= self.spec.num_sms
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # context callbacks
+    # ------------------------------------------------------------------
+    @property
+    def parallel_width(self) -> int:
+        """Expected steady-state CTA concurrency of this grid, used to
+        size guided-scheduling batches. Using the *expected* width (not
+        the momentary context count) keeps early batches from starving
+        later contexts."""
+        capacity = self.spec.num_sms * self.ctas_per_sm
+        if self.kernel.mode is KernelMode.PERSISTENT:
+            return max(1, min(capacity, self.config.grid_ctas))
+        return max(1, min(capacity, self.pool.total))
+
+    def next_batch_size(self, ctx: CTAContext) -> int:
+        """Size of the next task batch for ``ctx`` (guided scheduling).
+
+        The width is the larger of this grid's expected concurrency and
+        the pool-wide live worker count: a shared pool may be drained by
+        several grids at once (resume / top-up), and using only this
+        grid's width would let its contexts over-claim and straggle."""
+        width = max(self.parallel_width, self.pool.workers)
+        if self.kernel.mode is KernelMode.ORIGINAL:
+            return guided_batch(self.pool.remaining, width, minimum=1)
+        # Persistent: batches stay multiples of L so poll boundaries are
+        # exact, except near the tail where sub-L batches are allowed —
+        # real CTAs pull one task at a time, so work distribution is
+        # task-granular even though polls are L-spaced.
+        L = self.kernel.amortize_l
+        size = guided_batch(self.pool.remaining, width, minimum=1)
+        if size > L:
+            size = (size // L) * L
+        return min(size, self.pool.remaining)
+
+    def notify_progress(self) -> None:
+        """Called by contexts when tasks complete (hook for the runtime)."""
+
+    def context_done(self, ctx: CTAContext) -> None:
+        self.finished_contexts += 1
+        self._retire(ctx)
+
+    def context_yielded(self, ctx: CTAContext) -> None:
+        self.yielded_contexts += 1
+        self._retire(ctx)
+
+    def _retire(self, ctx: CTAContext) -> None:
+        self.contexts.discard(ctx)
+        ctx.sm.release(ctx, self.kernel.resources)
+        self._check_terminal()
+        # tell the device a slot freed up
+        if self.device is not None:
+            self.device.on_context_released(ctx)
+
+    # ------------------------------------------------------------------
+    # flag handling
+    # ------------------------------------------------------------------
+    def _on_flag_write(self, visible_at: float, value: int) -> None:
+        if self.is_terminal:
+            return
+        if value > 0 and self.preempt_requested_at is None:
+            self.preempt_requested_at = self.sim.now
+        for ctx in list(self.contexts):
+            ctx.replan()
+        # A grid preempted before any CTA was hosted (e.g. the flag was
+        # written while the launch command was still in flight) drains
+        # instantly: its CTAs would quit at their very first poll. Going
+        # terminal here also stops it from blocking the hardware FIFO.
+        if not self.contexts and self._demands_full_yield():
+            self._finish(GridState.PREEMPTED)
+
+    def _demands_full_yield(self) -> bool:
+        """Is the host currently requesting a whole-GPU yield?"""
+        if self.kernel.mode is not KernelMode.PERSISTENT or self.flag is None:
+            return False
+        value = self.flag.last_written
+        if value <= 0:
+            return False
+        return not self.kernel.supports_spatial or value >= self.spec.num_sms
+
+    # ------------------------------------------------------------------
+    # terminal states
+    # ------------------------------------------------------------------
+    def _check_terminal(self) -> None:
+        if self.is_terminal or self.contexts:
+            return
+        if self.pool.complete:
+            self._finish(GridState.COMPLETE)
+        elif self.pool.exhausted:
+            # The pool has no unclaimed tasks but siblings sharing it
+            # (e.g. a spatial top-up grid of the same invocation) still
+            # hold outstanding work. This grid's workers all saw
+            # pull_task() == NULL and exited: it is complete; the last
+            # sibling observes pool.complete and finishes the invocation.
+            self._finish(GridState.COMPLETE)
+        elif self.kernel.mode is KernelMode.PERSISTENT:
+            flag_pending = self.flag is not None and self.flag.last_written > 0
+            if flag_pending or self.yielded_contexts > 0:
+                # Either the flag still demands a yield, or the workers
+                # left because of a yield whose flag has since been
+                # cleared (e.g. spatial churn: preempt -> guest done ->
+                # clear -> this grid's last yielder retires after the
+                # clear). Both are preemption outcomes.
+                self._finish(GridState.PREEMPTED)
+            elif self.unplaced_contexts == 0:
+                # workers all *finished* with work outstanding and no
+                # flag was ever involved: impossible by construction
+                raise SchedulingError(
+                    f"grid {self} lost all contexts with work remaining"
+                )
+
+    def _finish(self, state: GridState) -> None:
+        self.state = state
+        self.ended_at = self.sim.now
+        if self.flag is not None and self.kernel.mode is KernelMode.PERSISTENT:
+            self.flag.unwatch(self._on_flag_write)
+        if self.device is not None:
+            self.device.on_grid_terminal(self)
+        if state is GridState.COMPLETE and self.on_complete:
+            self.on_complete(self)
+        if state is GridState.PREEMPTED and self.on_preempted:
+            self.on_preempted(self)
+
+    # set by the device at launch
+    device = None
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def turnaround_us(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.launched_at
+
+    @property
+    def preemption_latency_us(self) -> Optional[float]:
+        """Request-to-fully-yielded latency (temporal preemption)."""
+        if self.state is not GridState.PREEMPTED or self.preempt_requested_at is None:
+            return None
+        return self.ended_at - self.preempt_requested_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grid#{self.grid_id}({self.kernel.name}, {self.state.value}, "
+            f"pool={self.pool})"
+        )

@@ -1,0 +1,92 @@
+"""Host-process programs (pure data).
+
+A :class:`HostProgram` is the CPU side of a GPU application: an ordered
+script of host compute, transfers and kernel invocations, plus a process
+priority. Executors interpret these programs:
+
+* :class:`repro.baselines.mps_corun.MPSExecutor` — the untransformed
+  program running under plain MPS (the paper's baseline),
+* :class:`repro.core.flep.FlepSystem` — the FLEP-transformed program
+  whose launches are intercepted by the runtime (Figure 5's state
+  machine lives in :mod:`repro.core.interception`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class HostCompute:
+    """CPU-side work (data prep / post-processing) of a given duration."""
+
+    duration_us: float
+
+    def __post_init__(self):
+        if self.duration_us < 0:
+            raise WorkloadError("host compute duration cannot be negative")
+
+
+@dataclass(frozen=True)
+class CopyToDevice:
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class CopyToHost:
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class KernelInvoke:
+    """Invoke the named kernel on the named input.
+
+    ``kernel`` and ``input_name`` are resolved against a
+    :class:`repro.workloads.benchmarks.BenchmarkSuite` by the executor.
+    """
+
+    kernel: str
+    input_name: str = "large"
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.repeats < 1:
+            raise WorkloadError("kernel invocation repeats must be >= 1")
+
+
+HostOp = Union[HostCompute, CopyToDevice, CopyToHost, KernelInvoke]
+
+
+@dataclass
+class HostProgram:
+    """One CPU process that offloads kernels to the GPU."""
+
+    name: str
+    ops: List[HostOp] = field(default_factory=list)
+    priority: int = 0           # higher value = higher priority
+    loop_forever: bool = False  # FFS experiments re-invoke in a loop
+
+    def kernels(self) -> Sequence[KernelInvoke]:
+        return [op for op in self.ops if isinstance(op, KernelInvoke)]
+
+    @staticmethod
+    def single_kernel(
+        name: str,
+        kernel: str,
+        input_name: str,
+        priority: int = 0,
+        start_delay_us: float = 0.0,
+        loop_forever: bool = False,
+    ) -> "HostProgram":
+        """The shape used throughout the paper's evaluation: optional
+        delay, then one kernel invocation."""
+        ops: List[HostOp] = []
+        if start_delay_us > 0:
+            ops.append(HostCompute(start_delay_us))
+        ops.append(KernelInvoke(kernel, input_name))
+        return HostProgram(
+            name=name, ops=ops, priority=priority, loop_forever=loop_forever
+        )

@@ -1,0 +1,139 @@
+"""Device memory and pinned host memory.
+
+Two pieces matter to FLEP:
+
+* :class:`DeviceMemory` — a byte-counting allocator for the 12 GB device
+  memory. The paper assumes combined working sets fit (§8 related work
+  discusses GPUSwap for the rest), so we only track capacity and fail
+  loudly on oversubscription.
+* :class:`PinnedFlag` — the ``temp_P`` / ``spa_P`` cell in pinned
+  (non-pageable) host memory that the CPU writes and the GPU polls. The
+  simulator models the write-to-visibility latency and notifies grid
+  contexts so they can re-plan their yield events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import MemoryError_, SimulationError
+from .sim import Simulator
+
+
+class DeviceMemory:
+    """Byte-granular device memory allocator with named allocations."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise MemoryError_("device memory capacity must be positive")
+        self.capacity = capacity_bytes
+        self._used = 0
+        self._allocs: Dict[int, Tuple[str, int]] = {}
+        self._next_id = 1
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def alloc(self, nbytes: int, label: str = "") -> int:
+        """Allocate ``nbytes``; returns an allocation handle."""
+        if nbytes < 0:
+            raise MemoryError_(f"negative allocation {nbytes}")
+        if nbytes > self.free:
+            raise MemoryError_(
+                f"device OOM: requested {nbytes} bytes, {self.free} free "
+                f"(working set does not fit; see paper §8 / GPUSwap)"
+            )
+        handle = self._next_id
+        self._next_id += 1
+        self._allocs[handle] = (label, nbytes)
+        self._used += nbytes
+        return handle
+
+    def free_alloc(self, handle: int) -> None:
+        if handle not in self._allocs:
+            raise MemoryError_(f"double free or unknown handle {handle}")
+        _, nbytes = self._allocs.pop(handle)
+        self._used -= nbytes
+
+    def reset(self) -> None:
+        self._allocs.clear()
+        self._used = 0
+
+
+class PinnedFlag:
+    """A preemption flag shared between CPU and GPU (pinned memory).
+
+    Encodes both of the paper's flags with one unsigned value ``v``:
+
+    * ``v == 0`` — run normally.
+    * ``v >= 1`` — yield: a CTA hosted on SM ``s`` must quit iff
+      ``s < v`` (Figure 4 (c)). Setting ``v >= num_sms`` is exactly
+      temporal preemption (yield everything); kernels compiled without
+      spatial support treat any non-zero value as "yield all".
+
+    Host writes become visible to device polls after
+    ``preempt_signal_us``; device reads cost ``pinned_poll_us`` (charged
+    by the CTA contexts, not here).
+    """
+
+    def __init__(self, sim: Simulator, signal_latency_us: float = 1.0):
+        self._sim = sim
+        self._latency = signal_latency_us
+        # (visible_from_time, value), newest last; always non-empty
+        self._history: List[Tuple[float, int]] = [(0.0, 0)]
+        self._watchers: List[Callable[[float, int], None]] = []
+
+    # -- host side -------------------------------------------------------
+    def host_write(self, value: int) -> None:
+        """CPU writes ``value``; device sees it after the signal latency."""
+        if value < 0:
+            raise SimulationError(f"flag value cannot be negative: {value}")
+        visible_at = self._sim.now + self._latency
+        self._history.append((visible_at, value))
+        for watcher in list(self._watchers):
+            watcher(visible_at, value)
+
+    def clear(self) -> None:
+        """CPU resets the flag to 0 (before resuming the kernel)."""
+        self.host_write(0)
+
+    # -- device side -----------------------------------------------------
+    def device_read(self, at_time: float) -> int:
+        """Value a device-side poll at ``at_time`` observes."""
+        value = 0
+        for visible_at, v in self._history:
+            if visible_at <= at_time:
+                value = v
+            else:
+                break
+        return value
+
+    @property
+    def last_written(self) -> int:
+        """Most recently written value (host's view, ignoring latency)."""
+        return self._history[-1][1]
+
+    def watch(self, callback: Callable[[float, int], None]) -> None:
+        """Register ``callback(visible_at, value)`` on every host write."""
+        self._watchers.append(callback)
+
+    def unwatch(self, callback: Callable[[float, int], None]) -> None:
+        self._watchers.remove(callback)
+
+
+def should_yield(sm_id: int, flag_value: int, spatial_capable: bool) -> bool:
+    """Does a CTA on SM ``sm_id`` observing ``flag_value`` have to quit?
+
+    Temporal-only kernels (Figure 4 (a)/(b)) quit on any non-zero value;
+    spatial kernels (Figure 4 (c)) quit iff ``hostSM_ID < spa_P``.
+    """
+    if flag_value <= 0:
+        return False
+    if not spatial_capable:
+        return True
+    return sm_id < flag_value

@@ -1,0 +1,50 @@
+"""Multi-Process Service (MPS) front-end.
+
+Real MPS funnels the CUDA contexts of multiple host processes into one
+device context so their kernels can share the GPU (§2.1). Here the
+:class:`MPSServer` hands each connecting process its own
+:class:`~repro.gpu.stream.Stream`; the device's FIFO dispatcher then
+provides exactly the paper's baseline behaviour — concurrent execution
+only when the head kernel leaves resources unused, head-of-line blocking
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SimulationError
+from .gpu import SimulatedGPU
+from .stream import Stream
+from .transfer import DMAEngine
+
+
+class MPSServer:
+    """One MPS daemon serving a single GPU."""
+
+    def __init__(self, gpu: SimulatedGPU):
+        self.gpu = gpu
+        self.dma = DMAEngine(gpu.sim, gpu.spec.costs)
+        self._clients: Dict[str, Stream] = {}
+
+    def connect(self, process_name: str) -> Stream:
+        """A host process connects; MPS assigns it a distinct stream."""
+        if process_name in self._clients:
+            raise SimulationError(
+                f"process {process_name!r} already connected to MPS"
+            )
+        stream = Stream(self.gpu, dma=self.dma, name=f"mps:{process_name}")
+        self._clients[process_name] = stream
+        return stream
+
+    def disconnect(self, process_name: str) -> None:
+        if process_name not in self._clients:
+            raise SimulationError(f"process {process_name!r} not connected")
+        del self._clients[process_name]
+
+    @property
+    def num_clients(self) -> int:
+        return len(self._clients)
+
+    def stream_of(self, process_name: str) -> Stream:
+        return self._clients[process_name]

@@ -1,0 +1,147 @@
+"""Discrete-event simulation engine.
+
+A thin, deterministic event loop over a binary heap. The engine is the
+single owner of simulated time; all GPU/host components schedule callbacks
+through it. Determinism matters because the experiment harness averages
+repeated runs that differ only by seeded RNG noise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .clock import Clock
+from .events import Event, EventHandle
+
+
+class Simulator:
+    """Deterministic discrete-event engine (time unit: microseconds)."""
+
+    def __init__(self, start_time: float = 0.0, max_events: int = 50_000_000):
+        self.clock = Clock(start_time)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._processed = 0
+        self._max_events = max_events
+        self._running = False
+        self._trace: Optional[Callable[[Event], None]] = None
+
+    # ------------------------------------------------------------------
+    # scheduling API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled pops not counted)."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, label, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self.now}"
+            )
+        self._seq += 1
+        ev = Event(time, self._seq, callback, label=label, priority=priority)
+        heapq.heappush(self._heap, ev)
+        return EventHandle(ev)
+
+    def call_soon(
+        self, callback: Callable[[], Any], label: str = "", priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending same-time
+        events of lower sequence)."""
+        return self.schedule_at(self.now, callback, label, priority)
+
+    def set_trace(self, fn: Optional[Callable[[Event], None]]) -> None:
+        """Install a hook called with each event just before it fires."""
+        self._trace = fn
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is idle."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next live event. Returns ``False`` when idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self.clock.advance_to(ev.time)
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationError(
+                f"event budget exceeded ({self._max_events}); "
+                "likely a runaway scheduling loop"
+            )
+        if self._trace is not None:
+            self._trace(ev)
+        ev.callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or ``until`` is reached.
+
+        Returns the final simulated time. When ``until`` is given and
+        events remain beyond it, the clock is advanced exactly to
+        ``until``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while True:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.clock.advance_to(until)
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.3f}us, pending={len(self._heap)}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,99 @@
+"""Streaming multiprocessor resource accounting.
+
+An SM tracks the CTA contexts currently resident on it, charging the
+rounded register/shared-memory/thread footprints computed by
+:mod:`repro.gpu.occupancy`. The hardware dispatcher asks SMs whether they
+can host a CTA; spatial preemption uses the SM *id* (the paper reads it
+from the ``%smid`` register) to decide which CTAs must yield.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import ResourceError
+from .device import GPUDeviceSpec
+from .kernel import ResourceUsage
+from .occupancy import ceil_to
+
+
+class SM:
+    """One streaming multiprocessor's occupancy state."""
+
+    def __init__(self, sm_id: int, spec: GPUDeviceSpec):
+        self.sm_id = sm_id
+        self.spec = spec
+        self.resident: Set[object] = set()   # CTA contexts (opaque here)
+        self.used_threads = 0
+        self.used_warps = 0
+        self.used_regs = 0
+        self.used_smem = 0
+
+    # -- footprint math --------------------------------------------------
+    def _footprint(self, usage: ResourceUsage):
+        warps = -(-usage.threads_per_cta // self.spec.warp_size)
+        regs = (
+            ceil_to(
+                usage.regs_per_thread * self.spec.warp_size,
+                self.spec.register_alloc_unit,
+            )
+            * warps
+        )
+        smem = ceil_to(usage.shared_mem_per_cta, self.spec.shared_mem_alloc_unit)
+        return warps, regs, smem
+
+    def can_host(self, usage: ResourceUsage) -> bool:
+        """Would one more CTA of this footprint fit right now?"""
+        warps, regs, smem = self._footprint(usage)
+        return (
+            len(self.resident) < self.spec.max_ctas_per_sm
+            and self.used_threads + usage.threads_per_cta
+            <= self.spec.max_threads_per_sm
+            and self.used_warps + warps <= self.spec.max_warps_per_sm
+            and self.used_regs + regs <= self.spec.registers_per_sm
+            and self.used_smem + smem <= self.spec.shared_mem_per_sm
+        )
+
+    def admit(self, context, usage: ResourceUsage) -> None:
+        """Place a CTA context on this SM, charging its resources."""
+        if context in self.resident:
+            raise ResourceError(f"context already resident on SM {self.sm_id}")
+        if not self.can_host(usage):
+            raise ResourceError(
+                f"SM {self.sm_id} cannot host CTA {usage} "
+                f"(resident={len(self.resident)})"
+            )
+        warps, regs, smem = self._footprint(usage)
+        self.resident.add(context)
+        self.used_threads += usage.threads_per_cta
+        self.used_warps += warps
+        self.used_regs += regs
+        self.used_smem += smem
+
+    def release(self, context, usage: ResourceUsage) -> None:
+        """Remove a CTA context, returning its resources."""
+        if context not in self.resident:
+            raise ResourceError(f"context not resident on SM {self.sm_id}")
+        warps, regs, smem = self._footprint(usage)
+        self.resident.remove(context)
+        self.used_threads -= usage.threads_per_cta
+        self.used_warps -= warps
+        self.used_regs -= regs
+        self.used_smem -= smem
+        if min(self.used_threads, self.used_warps, self.used_regs, self.used_smem) < 0:
+            raise ResourceError(
+                f"SM {self.sm_id} resource accounting went negative"
+            )
+
+    @property
+    def idle(self) -> bool:
+        return not self.resident
+
+    def free_cta_slots(self) -> int:
+        return self.spec.max_ctas_per_sm - len(self.resident)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SM(id={self.sm_id}, resident={len(self.resident)}, "
+            f"threads={self.used_threads})"
+        )

@@ -1,0 +1,163 @@
+"""Execution timelines: who occupied which SM, when.
+
+A :class:`Timeline` attached to a :class:`~repro.gpu.gpu.SimulatedGPU`
+records one interval per hosted CTA context (SM id, start, end, kernel,
+tags). From those intervals it derives per-SM occupancy series and an
+ASCII Gantt rendering — which is how `experiments/fig2.py` regenerates
+the paper's Figure-2 illustration of temporal vs spatial preemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One CTA context's residency on an SM."""
+
+    sm_id: int
+    start_us: float
+    end_us: float
+    kernel: str
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.end_us < self.start_us:
+            raise SimulationError(
+                f"interval ends before it starts: {self}"
+            )
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def overlaps(self, t0: float, t1: float) -> float:
+        """Overlap length with the window [t0, t1)."""
+        return max(0.0, min(self.end_us, t1) - max(self.start_us, t0))
+
+
+@dataclass
+class Timeline:
+    """Recorder for CTA residency intervals.
+
+    Attach with ``gpu.tracer = Timeline()`` *before* launching work;
+    the device reports every context retirement.
+    """
+
+    intervals: List[Interval] = field(default_factory=list)
+    _open: Dict[object, Tuple[int, float, str, str]] = field(
+        default_factory=dict
+    )
+
+    # -- device hooks ----------------------------------------------------
+    def context_placed(self, ctx, grid) -> None:
+        label = grid.kernel.name
+        tag = str(grid.tag.get("process", ""))
+        self._open[ctx] = (ctx.sm.sm_id, ctx.started_at, label, tag)
+
+    def context_retired(self, ctx, now: float) -> None:
+        info = self._open.pop(ctx, None)
+        if info is None:
+            return
+        sm_id, start, label, tag = info
+        self.intervals.append(Interval(sm_id, start, now, label, tag))
+
+    def close_open(self, now: float) -> None:
+        """Close any still-resident contexts at time ``now`` (end of an
+        observation window)."""
+        for ctx, (sm_id, start, label, tag) in list(self._open.items()):
+            self.intervals.append(Interval(sm_id, start, now, label, tag))
+        self._open.clear()
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def horizon_us(self) -> float:
+        return max((iv.end_us for iv in self.intervals), default=0.0)
+
+    def kernels(self) -> List[str]:
+        seen: List[str] = []
+        for iv in self.intervals:
+            if iv.kernel not in seen:
+                seen.append(iv.kernel)
+        return seen
+
+    def sm_busy_us(self, sm_id: int, kernel: Optional[str] = None) -> float:
+        return sum(
+            iv.duration_us
+            for iv in self.intervals
+            if iv.sm_id == sm_id and (kernel is None or iv.kernel == kernel)
+        )
+
+    def kernel_sm_time_us(self, kernel: str) -> float:
+        """Total SM-residency time of a kernel across all SMs."""
+        return sum(
+            iv.duration_us for iv in self.intervals if iv.kernel == kernel
+        )
+
+    def occupancy_series(
+        self, sm_id: int, bucket_us: float, t0: float = 0.0,
+        t1: Optional[float] = None,
+    ) -> List[Dict[str, float]]:
+        """Per-bucket busy fraction of one SM, split by kernel."""
+        if bucket_us <= 0:
+            raise SimulationError("bucket width must be positive")
+        t1 = t1 if t1 is not None else self.horizon_us
+        series = []
+        t = t0
+        while t < t1:
+            end = min(t + bucket_us, t1)
+            shares: Dict[str, float] = {}
+            for iv in self.intervals:
+                if iv.sm_id != sm_id:
+                    continue
+                ov = iv.overlaps(t, end)
+                if ov > 0:
+                    shares[iv.kernel] = shares.get(iv.kernel, 0.0) + ov
+            width = end - t
+            series.append({k: v / width for k, v in shares.items()})
+            t = end
+        return series
+
+    # -- rendering ---------------------------------------------------------
+    def render_ascii(
+        self,
+        num_sms: int,
+        bucket_us: float,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+        symbols: Optional[Dict[str, str]] = None,
+    ) -> str:
+        """An ASCII Gantt: one row per SM, one column per time bucket;
+        each cell shows the kernel occupying most of that SM-bucket
+        ('.' = idle)."""
+        t1 = t1 if t1 is not None else self.horizon_us
+        if symbols is None:
+            symbols = {}
+            for k in self.kernels():
+                # first unused letter of the kernel name
+                for ch in k.upper():
+                    if ch.isalnum() and ch not in symbols.values():
+                        symbols[k] = ch
+                        break
+                else:
+                    symbols[k] = "?"
+        lines = []
+        for sm in range(num_sms):
+            series = self.occupancy_series(sm, bucket_us, t0, t1)
+            row = []
+            for shares in series:
+                if not shares:
+                    row.append(".")
+                else:
+                    dominant = max(shares, key=shares.get)
+                    row.append(symbols.get(dominant, "?"))
+            lines.append(f"SM{sm:<2d} |" + "".join(row) + "|")
+        legend = "  ".join(f"{v}={k}" for k, v in symbols.items())
+        scale = (
+            f"      {t0:.0f}us .. {t1:.0f}us, one column = {bucket_us:.0f}us"
+        )
+        return "\n".join(lines + [scale, "      " + legend])

@@ -1,0 +1,71 @@
+"""PCIe DMA engine.
+
+Models the two copy engines of a Tesla-class GPU: one host-to-device and
+one device-to-host channel, each serving transfers in FIFO order at the
+cost model's latency + bandwidth. Transfers and kernel execution overlap
+freely (different engines), as on real hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from .device import CostModel
+from .sim import Simulator
+
+
+class Direction(enum.Enum):
+    """Copy direction (one engine each way)."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+
+
+class _Channel:
+    """One copy engine: FIFO, non-preemptive."""
+
+    def __init__(self, sim: Simulator, costs: CostModel, name: str):
+        self._sim = sim
+        self._costs = costs
+        self._name = name
+        self._queue: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._busy = False
+
+    def submit(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        self._queue.append((nbytes, on_done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        nbytes, on_done = self._queue.popleft()
+        duration = self._costs.transfer_time_us(nbytes)
+
+        def finish():
+            on_done()
+            self._start_next()
+
+        self._sim.schedule(duration, finish, label=f"dma:{self._name}")
+
+
+class DMAEngine:
+    """Both copy engines of the device."""
+
+    def __init__(self, sim: Simulator, costs: CostModel):
+        self._h2d = _Channel(sim, costs, "h2d")
+        self._d2h = _Channel(sim, costs, "d2h")
+
+    def copy(
+        self,
+        direction: Direction,
+        nbytes: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Submit a copy; ``on_done`` fires when it completes."""
+        channel = self._h2d if direction is Direction.H2D else self._d2h
+        channel.submit(nbytes, on_done or (lambda: None))

@@ -1,0 +1,38 @@
+"""Multiprogram metrics: ANTT, STP, slowdown, GPU share, degradation,
+and weighted-fairness indices."""
+
+from .fairness import (
+    jain_index,
+    max_share_error,
+    weighted_jain_index,
+    weighted_targets,
+)
+from .multiprogram import (
+    ShareSample,
+    antt,
+    antt_improvement,
+    gpu_shares,
+    mean_share,
+    ntt,
+    slowdown,
+    stp,
+    stp_degradation,
+    throughput_degradation,
+)
+
+__all__ = [
+    "jain_index",
+    "max_share_error",
+    "weighted_jain_index",
+    "weighted_targets",
+    "ShareSample",
+    "antt",
+    "antt_improvement",
+    "gpu_shares",
+    "mean_share",
+    "ntt",
+    "slowdown",
+    "stp",
+    "stp_degradation",
+    "throughput_degradation",
+]

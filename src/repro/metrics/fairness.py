@@ -1,0 +1,65 @@
+"""Fairness metrics for weighted GPU sharing (Figure 13's goal).
+
+* **Jain's fairness index** over normalized allocations: 1.0 when every
+  tenant receives exactly its weighted entitlement, approaching ``1/n``
+  under total capture by one tenant.
+* **Weighted-share error**: the worst absolute gap between a tenant's
+  achieved share and its weighted target — the quantity Figure 13's
+  error bars visualize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..errors import ExperimentError
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain, Chiu & Hawe's fairness index of raw allocations."""
+    if not allocations:
+        raise ExperimentError("need at least one allocation")
+    if any(a < 0 for a in allocations):
+        raise ExperimentError("allocations cannot be negative")
+    total = sum(allocations)
+    if total == 0:
+        raise ExperimentError("all allocations are zero")
+    n = len(allocations)
+    return total * total / (n * sum(a * a for a in allocations))
+
+
+def weighted_jain_index(
+    shares: Mapping[str, float], weights: Mapping[str, float]
+) -> float:
+    """Jain index of shares normalized by entitlement: 1.0 iff every
+    tenant's share/weight ratio is identical."""
+    if set(shares) != set(weights):
+        raise ExperimentError(
+            f"share/weight key mismatch: {sorted(shares)} vs "
+            f"{sorted(weights)}"
+        )
+    normalized = []
+    for key, share in shares.items():
+        w = weights[key]
+        if w <= 0:
+            raise ExperimentError(f"weight of {key!r} must be positive")
+        normalized.append(share / w)
+    return jain_index(normalized)
+
+
+def weighted_targets(weights: Mapping[str, float]) -> Dict[str, float]:
+    """Entitled share per tenant: w_i / sum(w)."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ExperimentError("weights must sum to a positive value")
+    return {k: w / total for k, w in weights.items()}
+
+
+def max_share_error(
+    shares: Mapping[str, float], weights: Mapping[str, float]
+) -> float:
+    """Worst |achieved - entitled| share across tenants."""
+    targets = weighted_targets(weights)
+    if set(shares) != set(targets):
+        raise ExperimentError("share/weight key mismatch")
+    return max(abs(shares[k] - targets[k]) for k in shares)

@@ -1,0 +1,133 @@
+"""Multiprogram performance metrics (Eyerman & Eeckhout, §6.1).
+
+Given per-program shared-mode turnaround times and alone-mode times:
+
+* **NTT** (normalized turnaround time) of program *i*:
+  ``T_shared_i / T_alone_i`` (>= 1; lower is better).
+* **ANTT**: the arithmetic mean of the NTTs — average responsiveness.
+* **STP** (system throughput): ``sum_i(T_alone_i / T_shared_i)`` —
+  accumulated fractional progress (<= n; higher is better).
+
+Plus the paper's own quantities: per-kernel slowdown (Figure 1),
+performance degradation ``(T_w + T_e)/T_e`` (§5.2.1), weighted GPU
+share (Figure 13), and throughput degradation (Figures 11/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+
+def _check_pairs(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone) or not shared:
+        raise ExperimentError(
+            f"need equal non-empty turnaround lists, got {len(shared)} "
+            f"and {len(alone)}"
+        )
+    if any(t <= 0 for t in shared) or any(t <= 0 for t in alone):
+        raise ExperimentError("turnaround times must be positive")
+
+
+def ntt(shared_us: float, alone_us: float) -> float:
+    """Normalized turnaround time of one program."""
+    if shared_us <= 0 or alone_us <= 0:
+        raise ExperimentError("turnaround times must be positive")
+    return shared_us / alone_us
+
+
+def antt(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Average normalized turnaround time (lower is better)."""
+    _check_pairs(shared, alone)
+    return sum(s / a for s, a in zip(shared, alone)) / len(shared)
+
+
+def stp(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """System throughput (higher is better; max == number of programs)."""
+    _check_pairs(shared, alone)
+    return sum(a / s for s, a in zip(shared, alone))
+
+
+def slowdown(shared_us: float, alone_us: float) -> float:
+    """Figure 1's per-kernel slowdown (same as NTT, named as the paper
+    names it there)."""
+    return ntt(shared_us, alone_us)
+
+
+def antt_improvement(
+    baseline_shared: Sequence[float],
+    flep_shared: Sequence[float],
+    alone: Sequence[float],
+) -> float:
+    """Ratio ANTT_baseline / ANTT_FLEP (>1 means FLEP is better)."""
+    return antt(baseline_shared, alone) / antt(flep_shared, alone)
+
+
+def stp_degradation(
+    baseline_shared: Sequence[float],
+    flep_shared: Sequence[float],
+    alone: Sequence[float],
+) -> float:
+    """Fractional STP loss of FLEP vs the baseline (Figure 11)."""
+    base = stp(baseline_shared, alone)
+    ours = stp(flep_shared, alone)
+    return (base - ours) / base
+
+
+# ----------------------------------------------------------------------
+# GPU-share accounting (Figure 13)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShareSample:
+    """GPU time shares measured over one observation window."""
+
+    t_start_us: float
+    t_end_us: float
+    shares: Dict[str, float]  # label -> fraction of window on the GPU
+
+
+def gpu_shares(
+    segments: Dict[str, List[Tuple[float, float]]],
+    window_us: float,
+    horizon_us: float,
+) -> List[ShareSample]:
+    """Slice run segments into windows and compute per-label GPU share.
+
+    ``segments`` maps a label (e.g. "high"/"low" priority) to the
+    [start, end) intervals its kernels spent on the GPU.
+    """
+    if window_us <= 0 or horizon_us <= 0:
+        raise ExperimentError("window and horizon must be positive")
+    samples = []
+    t = 0.0
+    while t < horizon_us:
+        end = min(t + window_us, horizon_us)
+        width = end - t
+        shares = {}
+        for label, segs in segments.items():
+            busy = 0.0
+            for s, e in segs:
+                busy += max(0.0, min(e, end) - max(s, t))
+            shares[label] = busy / width
+        samples.append(ShareSample(t, end, shares))
+        t = end
+    return samples
+
+
+def mean_share(samples: Sequence[ShareSample], label: str) -> float:
+    """Average GPU share of one label across observation windows."""
+    if not samples:
+        raise ExperimentError("no share samples")
+    return sum(s.shares.get(label, 0.0) for s in samples) / len(samples)
+
+
+def throughput_degradation(
+    work_done_shared: float, work_done_alone: float
+) -> float:
+    """Fractional throughput loss (Figure 14): 1 - shared/alone work
+    rates over the same wall-clock horizon."""
+    if work_done_alone <= 0:
+        raise ExperimentError("alone-mode work must be positive")
+    return 1.0 - work_done_shared / work_done_alone

@@ -1,0 +1,111 @@
+"""Preemption-overhead estimation (§4.2 last paragraph).
+
+The paper does not model preemption overhead analytically; it profiles
+50 preemptions with different inputs and uses the average. We provide
+both: :func:`profile_preemption_overhead` runs 50 mini-simulations
+(launch the FLEP kernel alone, request a temporal preemption at a random
+instant, measure request-to-fully-yielded drain plus the later relaunch
+cost), and :func:`analytic_preemption_overhead` gives the closed-form
+expectation used as a fast default by the schedulers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..gpu.gpu import SimulatedGPU
+from ..gpu.kernel import LaunchConfig, TaskPool
+from ..gpu.occupancy import active_slots
+from ..gpu.sim import Simulator
+from ..workloads.benchmarks import BenchmarkSuite
+from ..workloads.specs import KernelSpec
+
+
+def analytic_preemption_overhead(
+    kspec: KernelSpec,
+    amortize_l: int,
+    device: Optional[GPUDeviceSpec] = None,
+) -> float:
+    """Expected cost of one temporal preemption (µs): signal latency +
+    half an amortization group of residual work + one poll + the victim's
+    eventual relaunch."""
+    device = device or tesla_k40()
+    c = device.costs
+    per_task = kspec.task_time_us + c.task_pull_us
+    drain = amortize_l * per_task / 2.0
+    return c.preempt_signal_us + c.pinned_poll_us + drain + c.kernel_launch_us
+
+
+def profile_preemption_overhead(
+    kspec: KernelSpec,
+    amortize_l: int,
+    device: Optional[GPUDeviceSpec] = None,
+    runs: int = 50,
+    seed: int = 0,
+    input_name: str = "large",
+) -> Dict[str, float]:
+    """The paper's measured estimate: average drain latency over ``runs``
+    preemptions at random instants, plus the relaunch overhead."""
+    device = device or tesla_k40()
+    rng = random.Random(seed)
+    inp = kspec.input(input_name)
+    image = kspec.flep_image(inp, amortize_l)
+    slots = active_slots(device, kspec.resources)
+    drains = []
+    for _ in range(runs):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, device)
+        flag = gpu.new_flag()
+        pool = TaskPool(inp.tasks)
+        grid = gpu.launch(
+            image, LaunchConfig.persistent(inp.tasks, slots),
+            pool=pool, flag=flag,
+        )
+        # preempt somewhere in the middle of the run
+        solo = device.costs.kernel_launch_us + inp.tasks * (
+            kspec.task_time_us * inp.task_scale
+        ) / slots
+        t_req = rng.uniform(0.2, 0.8) * solo
+        sim.schedule(t_req, lambda f=flag: f.host_write(device.num_sms))
+        sim.run()
+        if grid.preemption_latency_us is not None:
+            drains.append(grid.preemption_latency_us)
+    mean_drain = sum(drains) / len(drains) if drains else 0.0
+    return {
+        "mean_drain_us": mean_drain,
+        "max_drain_us": max(drains) if drains else 0.0,
+        "overhead_us": mean_drain + device.costs.kernel_launch_us,
+        "runs": float(len(drains)),
+    }
+
+
+class OverheadEstimates:
+    """Per-kernel preemption-overhead estimates used online."""
+
+    def __init__(
+        self,
+        suite: BenchmarkSuite,
+        device: Optional[GPUDeviceSpec] = None,
+        profiled: bool = False,
+        runs: int = 50,
+    ):
+        self.device = device or suite.device
+        self._estimates: Dict[str, float] = {}
+        for kspec in suite:
+            L = suite.amortize_l(kspec.name)
+            if profiled:
+                self._estimates[kspec.name] = profile_preemption_overhead(
+                    kspec, L, self.device, runs=runs
+                )["overhead_us"]
+            else:
+                self._estimates[kspec.name] = analytic_preemption_overhead(
+                    kspec, L, self.device
+                )
+
+    def overhead_us(self, kernel_name: str) -> float:
+        return self._estimates[kernel_name]
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._estimates)

@@ -1,0 +1,126 @@
+"""Invocation execution logging (§5.1).
+
+For every intercepted kernel invocation, FLEP keeps the triplet
+``(T_e, T_w, T_r)``: predicted duration, accumulated waiting time, and
+predicted remaining execution time. ``T_w`` accumulates while the kernel
+is active-but-not-running; ``T_r`` decreases while it runs. The triplet
+is updated exactly in the three cases the paper lists: a new kernel
+arrives, a kernel is preempted, and a kernel finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import RuntimeEngineError
+
+#: T_r never goes below this (prediction may undershoot reality).
+MIN_REMAINING_US = 1.0
+
+
+class InvocationState(enum.Enum):
+    """Where an intercepted invocation currently is (Figure 5's view)."""
+
+    WAITING = "waiting"    # intercepted, not on the GPU (S2 on the CPU)
+    RUNNING = "running"    # on the GPU (S3)
+    PREEMPTING = "preempting"  # told to yield, still draining
+    FINISHED = "finished"
+
+
+@dataclass
+class ExecutionRecord:
+    """The (T_e, T_w, T_r) triplet plus timestamps and an event log."""
+
+    predicted_us: float                  # T_e, set once, never updated
+    waited_us: float = 0.0               # T_w
+    remaining_us: float = 0.0            # T_r
+    arrived_at: float = 0.0
+    finished_at: Optional[float] = None
+    run_segments: List[Tuple[float, float]] = field(default_factory=list)
+    preemptions: int = 0
+    _state: InvocationState = InvocationState.WAITING
+    _state_since: float = 0.0
+
+    def __post_init__(self):
+        if self.predicted_us <= 0:
+            raise RuntimeEngineError("predicted duration must be positive")
+        self.remaining_us = self.predicted_us
+        self._state_since = self.arrived_at
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> InvocationState:
+        return self._state
+
+    def _accumulate(self, now: float) -> None:
+        elapsed = now - self._state_since
+        if elapsed < -1e-9:
+            raise RuntimeEngineError(
+                f"tracker time went backwards ({self._state_since} -> {now})"
+            )
+        elapsed = max(0.0, elapsed)
+        if self._state is InvocationState.WAITING:
+            self.waited_us += elapsed
+        elif self._state in (InvocationState.RUNNING, InvocationState.PREEMPTING):
+            self.remaining_us = max(MIN_REMAINING_US, self.remaining_us - elapsed)
+        self._state_since = now
+
+    def mark_running(self, now: float) -> None:
+        if self._state is InvocationState.FINISHED:
+            raise RuntimeEngineError("finished invocation cannot run again")
+        self._accumulate(now)
+        if self._state is not InvocationState.RUNNING:
+            self.run_segments.append((now, now))
+        self._state = InvocationState.RUNNING
+
+    def mark_preempting(self, now: float) -> None:
+        if self._state is not InvocationState.RUNNING:
+            raise RuntimeEngineError(
+                f"cannot preempt from state {self._state.value}"
+            )
+        self._accumulate(now)
+        self._state = InvocationState.PREEMPTING
+
+    def mark_waiting(self, now: float) -> None:
+        """Preemption drain completed; kernel is off the GPU."""
+        self._accumulate(now)
+        if self._state in (InvocationState.RUNNING, InvocationState.PREEMPTING):
+            self.preemptions += 1
+            start, _ = self.run_segments[-1]
+            self.run_segments[-1] = (start, now)
+        self._state = InvocationState.WAITING
+
+    def mark_finished(self, now: float) -> None:
+        self._accumulate(now)
+        if self._state in (InvocationState.RUNNING, InvocationState.PREEMPTING):
+            start, _ = self.run_segments[-1]
+            self.run_segments[-1] = (start, now)
+        self._state = InvocationState.FINISHED
+        self.finished_at = now
+        self.remaining_us = 0.0
+
+    # ------------------------------------------------------------------
+    def refresh(self, now: float) -> None:
+        """Bring T_w/T_r up to date without a state change (called when
+        any of the paper's three update events occurs)."""
+        self._accumulate(now)
+
+    @property
+    def turnaround_us(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrived_at
+
+    @property
+    def gpu_time_us(self) -> float:
+        """Total time spent on the GPU across run segments."""
+        return sum(end - start for start, end in self.run_segments)
+
+    def degradation(self) -> Optional[float]:
+        """The paper's per-kernel performance degradation
+        ``(T_w + T_e) / T_e`` once the kernel finished."""
+        if self.finished_at is None:
+            return None
+        return (self.waited_us + self.predicted_us) / self.predicted_us

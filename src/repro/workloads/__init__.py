@@ -1,0 +1,65 @@
+"""Benchmark workloads: the paper's eight kernels, calibrated to Table 1,
+plus random-input generation for model training and synthetic traces."""
+
+from .benchmarks import (
+    BENCHMARK_NAMES,
+    BenchmarkSuite,
+    build_kernel_spec,
+    standard_suite,
+)
+from .calibration import (
+    IRREGULARITY,
+    L_CANDIDATES,
+    MAX_TRANSFORM_OVERHEAD,
+    RESOURCES,
+    TABLE1,
+    TASK_TIME_US,
+    TRIVIAL_TASKS,
+    Table1Row,
+    analytic_amortizing_factor,
+    device_slots,
+    expected_exec_us,
+    solve_tasks,
+    transform_overhead,
+    verify_calibration,
+)
+from .footprints import FOOTPRINTS, footprint_bytes
+from .inputs import TrainingSample, random_input, training_set, true_duration_us
+from .programs import benchmark_program, iterative_program
+from .specs import InputSpec, KernelSpec
+from .synthetic import Arrival, ArrivalTrace, poisson_trace, synthetic_kernel
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkSuite",
+    "build_kernel_spec",
+    "standard_suite",
+    "IRREGULARITY",
+    "L_CANDIDATES",
+    "MAX_TRANSFORM_OVERHEAD",
+    "RESOURCES",
+    "TABLE1",
+    "TASK_TIME_US",
+    "TRIVIAL_TASKS",
+    "Table1Row",
+    "analytic_amortizing_factor",
+    "device_slots",
+    "expected_exec_us",
+    "solve_tasks",
+    "transform_overhead",
+    "verify_calibration",
+    "FOOTPRINTS",
+    "footprint_bytes",
+    "benchmark_program",
+    "iterative_program",
+    "TrainingSample",
+    "random_input",
+    "training_set",
+    "true_duration_us",
+    "InputSpec",
+    "KernelSpec",
+    "Arrival",
+    "ArrivalTrace",
+    "poisson_trace",
+    "synthetic_kernel",
+]

@@ -1,0 +1,227 @@
+"""Calibration of the eight benchmarks against Table 1.
+
+The paper reports, for each benchmark, the solo execution time on three
+inputs and the amortizing factor FLEP's offline tuner chose. We invert
+the simulator's cost model to find, per benchmark, the mean task time
+and the task counts that reproduce those numbers:
+
+* ``exec_time = kernel_launch + tasks * task_time * scale / slots``
+  (120 CTA slots on the K40 for 256-thread CTAs, all eight kernels),
+* the tuner picks the smallest ``L`` from :data:`L_CANDIDATES` whose
+  transformed-kernel overhead ``(poll/L + pull) / task_time`` stays
+  below the paper's 4 % rule — the task times below are chosen so that
+  search lands exactly on Table 1's factors.
+
+Derivations (poll = 1.0 µs, pull = 0.02 µs):
+
+=========  =========  =====================================  ========
+benchmark  task time  tuning window                          Table L
+=========  =========  =====================================  ========
+CFD        35.0 µs    L=1 passes (2.9 %)                     1
+NN         0.95 µs    L=50 fails (4.2 %), L=100 passes       100
+PF         0.70 µs    L=100 fails (4.3 %), L=150 passes      150
+PL         0.95 µs    same window as NN                      100
+MD         45.0 µs    L=1 passes (2.3 %)                     1
+SPMV       24.0 µs    L=1 fails (4.3 %), L=2 passes          2
+MM         22.0 µs    L=1 fails (4.6 %), L=2 passes          2
+VA         0.645 µs   L=150 fails (4.1 %), L=200 passes      200
+=========  =========  =====================================  ========
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import WorkloadError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..gpu.kernel import ResourceUsage
+from ..gpu.occupancy import active_slots
+
+#: Candidate ladder for the offline amortizing-factor search (§4.1:
+#: "trying different values from small to large").
+L_CANDIDATES = (1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 500, 1000)
+
+#: The paper's overhead budget for the tuner.
+MAX_TRANSFORM_OVERHEAD = 0.04
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 (times in microseconds)."""
+
+    name: str
+    suite: str
+    description: str
+    kernel_loc: int
+    large_us: float
+    small_us: float
+    trivial_us: float
+    amortize_l: int
+
+
+#: Table 1 of the paper, verbatim.
+TABLE1: Dict[str, Table1Row] = {
+    row.name: row
+    for row in [
+        Table1Row("CFD", "Rodinia", "finite volume solver", 130,
+                  11106, 521, 81, 1),
+        Table1Row("NN", "Rodinia", "nearest neighbor", 10,
+                  15775, 728, 55, 100),
+        Table1Row("PF", "Rodinia", "dynamic programming", 81,
+                  7364, 811, 57, 150),
+        Table1Row("PL", "Rodinia", "Bayesian framework", 24,
+                  5419, 952, 83, 100),
+        Table1Row("MD", "SHOC", "molecular dynamics", 61,
+                  15905, 938, 90, 1),
+        Table1Row("SPMV", "SHOC", "sparse matrix vector multi.", 23,
+                  5840, 484, 68, 2),
+        Table1Row("MM", "CUDA SDK", "dense matrix multiplication", 74,
+                  2579, 1499, 73, 2),
+        Table1Row("VA", "CUDA SDK", "vector addition", 6,
+                  30634, 720, 49, 200),
+    ]
+}
+
+#: Mean task times (µs) solved from the tuning windows above.
+TASK_TIME_US: Dict[str, float] = {
+    "CFD": 35.0,
+    "NN": 0.95,
+    "PF": 0.70,
+    "PL": 0.95,
+    "MD": 45.0,
+    "SPMV": 24.0,
+    "MM": 22.0,
+    "VA": 0.645,
+}
+
+#: Hidden (unobservable) per-input duration factor sigmas, chosen so the
+#: linear model's mean |error| reproduces Figure 7 (regular kernels
+#: NN/MM/VA predict well; SPMV is worst).
+IRREGULARITY: Dict[str, float] = {
+    "CFD": 0.0875,
+    "NN": 0.044,
+    "PF": 0.075,
+    "PL": 0.081,
+    "MD": 0.10,
+    "SPMV": 0.1525,
+    "MM": 0.036,
+    "VA": 0.034,
+}
+
+#: Per-CTA hardware footprints (all reach 8 CTAs/SM => 120 slots on K40,
+#: matching the paper's "120 active CTAs of size 256").
+RESOURCES: Dict[str, ResourceUsage] = {
+    "CFD": ResourceUsage(256, 32, 0),
+    "NN": ResourceUsage(256, 16, 0),
+    "PF": ResourceUsage(256, 24, 2048),
+    "PL": ResourceUsage(256, 20, 1024),
+    "MD": ResourceUsage(256, 32, 0),
+    "SPMV": ResourceUsage(256, 20, 1024),
+    "MM": ResourceUsage(256, 28, 4096),
+    "VA": ResourceUsage(256, 10, 0),
+}
+
+#: Intra-SM contention coefficients (0 = compute-bound, ~2+ =
+#: bandwidth-bound). Only affects launches packed below full occupancy;
+#: drives Figure 16's yield-more-SMs speedups.
+CONTENTION: Dict[str, float] = {
+    "CFD": 0.8,
+    "NN": 2.0,
+    "PF": 0.6,
+    "PL": 0.5,
+    "MD": 1.2,
+    "SPMV": 2.2,
+    "MM": 0.3,
+    "VA": 2.5,
+}
+
+#: Trivial inputs launch ~40 CTAs and need 5 SMs (§6.1).
+TRIVIAL_TASKS = 40
+
+
+def device_slots(name: str, spec: Optional[GPUDeviceSpec] = None) -> int:
+    """Guaranteed-active CTA slots for this benchmark on the device."""
+    spec = spec or tesla_k40()
+    return active_slots(spec, RESOURCES[name])
+
+
+def solve_tasks(
+    name: str,
+    target_exec_us: float,
+    task_scale: float = 1.0,
+    spec: Optional[GPUDeviceSpec] = None,
+) -> int:
+    """Invert ``exec = launch + tasks*t*scale/slots`` for ``tasks``."""
+    spec = spec or tesla_k40()
+    launch = spec.costs.kernel_launch_us
+    if target_exec_us <= launch:
+        raise WorkloadError(
+            f"{name}: target time {target_exec_us} below launch overhead"
+        )
+    slots = device_slots(name, spec)
+    t = TASK_TIME_US[name] * task_scale
+    tasks = (target_exec_us - launch) * slots / t
+    return max(1, round(tasks))
+
+
+def expected_exec_us(
+    name: str,
+    tasks: int,
+    task_scale: float = 1.0,
+    spec: Optional[GPUDeviceSpec] = None,
+) -> float:
+    """Forward model: solo execution time of an original launch."""
+    spec = spec or tesla_k40()
+    slots = device_slots(name, spec)
+    t = TASK_TIME_US[name] * task_scale
+    return spec.costs.kernel_launch_us + tasks * t / slots
+
+
+def transform_overhead(
+    name: str, amortize_l: int, spec: Optional[GPUDeviceSpec] = None
+) -> float:
+    """Analytic FLEP-transform overhead fraction for a given ``L``:
+    ``(poll/L + pull) / task_time`` (§4.1's amortization argument)."""
+    spec = spec or tesla_k40()
+    if amortize_l < 1:
+        raise WorkloadError("amortizing factor must be >= 1")
+    c = spec.costs
+    return (c.pinned_poll_us / amortize_l + c.task_pull_us) / TASK_TIME_US[name]
+
+
+def analytic_amortizing_factor(
+    name: str, spec: Optional[GPUDeviceSpec] = None
+) -> int:
+    """Smallest ladder ``L`` meeting the paper's < 4 % rule (analytic
+    version of the offline tuner; the simulating tuner lives in
+    :mod:`repro.compiler.tuning`)."""
+    for cand in L_CANDIDATES:
+        if transform_overhead(name, cand, spec) < MAX_TRANSFORM_OVERHEAD:
+            return cand
+    raise WorkloadError(
+        f"{name}: no ladder value meets the {MAX_TRANSFORM_OVERHEAD:.0%} rule"
+    )
+
+
+def verify_calibration(spec: Optional[GPUDeviceSpec] = None) -> Dict[str, dict]:
+    """Cross-check every benchmark: the analytic tuner must reproduce
+    Table 1's amortizing factor and the forward model must reproduce the
+    large-input time. Returns a per-benchmark report."""
+    spec = spec or tesla_k40()
+    report = {}
+    for name, row in TABLE1.items():
+        tasks = solve_tasks(name, row.large_us, spec=spec)
+        model_us = expected_exec_us(name, tasks, spec=spec)
+        chosen_l = analytic_amortizing_factor(name, spec)
+        report[name] = {
+            "tasks_large": tasks,
+            "model_large_us": model_us,
+            "paper_large_us": row.large_us,
+            "rel_error": abs(model_us - row.large_us) / row.large_us,
+            "chosen_l": chosen_l,
+            "paper_l": row.amortize_l,
+            "l_matches": chosen_l == row.amortize_l,
+        }
+    return report

@@ -1,0 +1,44 @@
+"""Representative device-memory footprints for the benchmarks.
+
+The K40 has 12 GB; the paper's co-runs fit comfortably (§8 defers
+oversubscription to GPUSwap). These values are representative working
+sets — arrays the host transfers plus intermediates — sized by input
+class, not derived from the abstract task counts (whose element
+granularity is a timing artifact of calibration, not a memory model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import WorkloadError
+
+MIB = 1024 * 1024
+
+#: benchmark -> {input class -> bytes}
+FOOTPRINTS: Dict[str, Dict[str, int]] = {
+    # large inputs: hundreds of MB to a few GB; small: tens of MB;
+    # trivial: single-digit MB (a launch-latency microprobe)
+    "CFD": {"large": 1536 * MIB, "small": 96 * MIB, "trivial": 4 * MIB},
+    "NN": {"large": 768 * MIB, "small": 48 * MIB, "trivial": 2 * MIB},
+    "PF": {"large": 512 * MIB, "small": 64 * MIB, "trivial": 2 * MIB},
+    "PL": {"large": 640 * MIB, "small": 96 * MIB, "trivial": 2 * MIB},
+    "MD": {"large": 2048 * MIB, "small": 128 * MIB, "trivial": 4 * MIB},
+    "SPMV": {"large": 1024 * MIB, "small": 96 * MIB, "trivial": 4 * MIB},
+    "MM": {"large": 768 * MIB, "small": 512 * MIB, "trivial": 4 * MIB},
+    "VA": {"large": 3072 * MIB, "small": 96 * MIB, "trivial": 2 * MIB},
+}
+
+
+def footprint_bytes(benchmark: str, input_name: str) -> int:
+    """Device working set of one invocation."""
+    if benchmark not in FOOTPRINTS:
+        raise WorkloadError(
+            f"no footprint for benchmark {benchmark!r} "
+            f"(have {sorted(FOOTPRINTS)})"
+        )
+    table = FOOTPRINTS[benchmark]
+    if input_name in table:
+        return table[input_name]
+    # custom/micro inputs: treat like a trivial probe
+    return table["trivial"]

@@ -1,0 +1,104 @@
+"""Random input generation for performance-model training.
+
+§4.2: "For each kernel, we use 100 randomly generated data inputs ...
+The inputs are the features and the output is the duration of the
+kernel." We generate inputs spanning roughly the small-to-large range of
+Table 1 and attach each a *hidden* performance factor drawn from the
+kernel's irregularity — the part of the duration the four observable
+features cannot explain (Figure 7's error source).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from . import calibration as cal
+from .specs import InputSpec, KernelSpec
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One (features, duration) pair for model training/evaluation.
+
+    The four features are the paper's: grid size, CTA size, input size,
+    shared-memory usage.
+    """
+
+    inp: InputSpec
+    grid_size: int
+    cta_size: int
+    input_size: int
+    shared_mem: int
+    duration_us: float
+
+    @property
+    def features(self) -> List[float]:
+        return [
+            float(self.grid_size),
+            float(self.cta_size),
+            float(self.input_size),
+            float(self.shared_mem),
+        ]
+
+
+def true_duration_us(
+    kspec: KernelSpec,
+    inp: InputSpec,
+    spec: Optional[GPUDeviceSpec] = None,
+) -> float:
+    """Ground-truth solo execution time of one invocation (the analytic
+    forward model; the event simulator reproduces it to <1 %)."""
+    device = spec or tesla_k40()
+    slots = cal.device_slots(kspec.name, device)
+    t = kspec.task_time_us * inp.task_scale * (1.0 + inp.hidden_factor)
+    return device.costs.kernel_launch_us + inp.tasks * t / slots
+
+
+def random_input(
+    kspec: KernelSpec,
+    rng: random.Random,
+    name: str = "train",
+    lo_frac: float = 0.05,
+    hi_frac: float = 1.2,
+) -> InputSpec:
+    """One random input between ``lo_frac`` and ``hi_frac`` of the large
+    input's size, with a hidden factor ~ N(0, irregularity)."""
+    large = kspec.input("large")
+    if not 0 < lo_frac < hi_frac:
+        raise WorkloadError("need 0 < lo_frac < hi_frac")
+    size = rng.randint(
+        max(kspec.work_per_task, int(large.size * lo_frac)),
+        int(large.size * hi_frac),
+    )
+    hidden = rng.gauss(0.0, kspec.irregularity)
+    hidden = max(-0.5, min(0.5, hidden))  # keep durations physical
+    return kspec.make_input(name, size, hidden_factor=hidden)
+
+
+def training_set(
+    kspec: KernelSpec,
+    n: int = 100,
+    seed: int = 0,
+    spec: Optional[GPUDeviceSpec] = None,
+) -> List[TrainingSample]:
+    """The paper's 100 random training inputs for one kernel."""
+    rng = random.Random((hash(kspec.name) & 0xFFFF) * 7919 + seed)
+    device = spec or tesla_k40()
+    samples = []
+    for i in range(n):
+        inp = random_input(kspec, rng, name=f"train{i}")
+        samples.append(
+            TrainingSample(
+                inp=inp,
+                grid_size=inp.tasks,
+                cta_size=kspec.resources.threads_per_cta,
+                input_size=inp.size,
+                shared_mem=kspec.resources.shared_mem_per_cta,
+                duration_us=true_duration_us(kspec, inp, device),
+            )
+        )
+    return samples

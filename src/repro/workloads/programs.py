@@ -1,0 +1,77 @@
+"""Full host programs for the benchmarks.
+
+`benchmark_program` builds the realistic shape of a GPU application
+(§2.1's steps): host-side setup, a host-to-device transfer sized by the
+benchmark's working set, the kernel invocation, and the device-to-host
+result copy. Running these through the Figure-5 interception machinery
+exercises transfers and kernel scheduling together, as a real
+FLEP-transformed application would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import WorkloadError
+from ..gpu.host import (
+    CopyToDevice,
+    CopyToHost,
+    HostCompute,
+    HostProgram,
+    KernelInvoke,
+)
+from .footprints import footprint_bytes
+
+#: Result copies are small relative to the working set.
+RESULT_FRACTION = 0.10
+#: Host-side data preparation, per MiB of working set (µs).
+PREP_US_PER_MIB = 2.0
+
+
+def benchmark_program(
+    benchmark: str,
+    input_name: str = "large",
+    priority: int = 0,
+    name: Optional[str] = None,
+    repeats: int = 1,
+    loop_forever: bool = False,
+) -> HostProgram:
+    """The canonical app shape: prep -> H2D -> kernel(s) -> D2H."""
+    if repeats < 1:
+        raise WorkloadError("repeats must be >= 1")
+    working_set = footprint_bytes(benchmark, input_name)
+    prep_us = PREP_US_PER_MIB * working_set / (1024 * 1024)
+    return HostProgram(
+        name=name or f"{benchmark.lower()}_{input_name}",
+        priority=priority,
+        loop_forever=loop_forever,
+        ops=[
+            HostCompute(prep_us),
+            CopyToDevice(working_set),
+            KernelInvoke(benchmark, input_name, repeats=repeats),
+            CopyToHost(int(working_set * RESULT_FRACTION)),
+        ],
+    )
+
+
+def iterative_program(
+    benchmark: str,
+    iterations: int,
+    input_name: str = "small",
+    priority: int = 0,
+    name: Optional[str] = None,
+) -> HostProgram:
+    """An iterative solver shape (PF/CFD style): one upload, many
+    kernel invocations, one download."""
+    if iterations < 1:
+        raise WorkloadError("iterations must be >= 1")
+    working_set = footprint_bytes(benchmark, input_name)
+    return HostProgram(
+        name=name or f"{benchmark.lower()}_iter{iterations}",
+        priority=priority,
+        ops=[
+            CopyToDevice(working_set),
+            KernelInvoke(benchmark, input_name, repeats=iterations),
+            CopyToHost(int(working_set * RESULT_FRACTION)),
+        ],
+    )

@@ -1,0 +1,333 @@
+"""CUDA-C source for the eight benchmark kernels.
+
+These are faithful, simplified renderings of the benchmarks' kernels
+(Rodinia / SHOC / CUDA SDK), written inside the C subset the FLEP
+frontend parses. Each entry also carries a minimal host ``main`` with
+the triple-chevron launch so the host transform (Figure 5) has
+something to intercept. Grids are 1-D (MM linearizes its tile grid),
+matching the FLEP transform's supported shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import WorkloadError
+
+VA_SOURCE = r"""
+__global__ void va_kernel(const float *a, const float *b, float *c, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int n = 1048576;
+    float *a, *b, *c;
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    va_kernel<<<blocks, threads>>>(a, b, c, n);
+    return 0;
+}
+"""
+
+NN_SOURCE = r"""
+__global__ void nn_kernel(const float *locations, float *distances,
+                          int n, float lat, float lng)
+{
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        float dx = locations[gid * 2] - lat;
+        float dy = locations[gid * 2 + 1] - lng;
+        distances[gid] = sqrtf(dx * dx + dy * dy);
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int n = 262144;
+    float *locations, *distances;
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    nn_kernel<<<blocks, threads>>>(locations, distances, n, 30.0f, 90.0f);
+    return 0;
+}
+"""
+
+MM_SOURCE = r"""
+__global__ void mm_kernel(const float *A, const float *B, float *C,
+                          int n, int tiles_x)
+{
+    __shared__ float As[16][16];
+    __shared__ float Bs[16][16];
+    int tile = blockIdx.x;
+    int tx = threadIdx.x % 16;
+    int ty = threadIdx.x / 16;
+    int bx = tile % tiles_x;
+    int by = tile / tiles_x;
+    int row = by * 16 + ty;
+    int col = bx * 16 + tx;
+    float acc = 0.0f;
+    for (int m = 0; m < n / 16; ++m) {
+        As[ty][tx] = A[row * n + m * 16 + tx];
+        Bs[ty][tx] = B[(m * 16 + ty) * n + col];
+        __syncthreads();
+        for (int k = 0; k < 16; ++k) {
+            acc += As[ty][k] * Bs[k][tx];
+        }
+        __syncthreads();
+    }
+    C[row * n + col] = acc;
+}
+
+int main(int argc, char **argv)
+{
+    int n = 1024;
+    float *A, *B, *C;
+    int tiles_x = n / 16;
+    int blocks = tiles_x * tiles_x;
+    mm_kernel<<<blocks, 256>>>(A, B, C, n, tiles_x);
+    return 0;
+}
+"""
+
+SPMV_SOURCE = r"""
+__global__ void spmv_kernel(const float *vals, const int *cols,
+                            const int *row_ptr, const float *x,
+                            float *y, int rows)
+{
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float sum = 0.0f;
+        int start = row_ptr[row];
+        int end = row_ptr[row + 1];
+        for (int j = start; j < end; ++j) {
+            sum += vals[j] * x[cols[j]];
+        }
+        y[row] = sum;
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int rows = 131072;
+    float *vals, *x, *y;
+    int *cols, *row_ptr;
+    int threads = 256;
+    int blocks = (rows + threads - 1) / threads;
+    spmv_kernel<<<blocks, threads>>>(vals, cols, row_ptr, x, y, rows);
+    return 0;
+}
+"""
+
+MD_SOURCE = r"""
+__global__ void md_kernel(const float *pos, float *force,
+                          const int *neighbors, int n, int max_neighbors,
+                          float cutoff2, float lj1, float lj2)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float px = pos[i * 3];
+        float py = pos[i * 3 + 1];
+        float pz = pos[i * 3 + 2];
+        float fx = 0.0f;
+        float fy = 0.0f;
+        float fz = 0.0f;
+        for (int j = 0; j < max_neighbors; ++j) {
+            int nb = neighbors[i * max_neighbors + j];
+            float dx = px - pos[nb * 3];
+            float dy = py - pos[nb * 3 + 1];
+            float dz = pz - pos[nb * 3 + 2];
+            float r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2) {
+                float r2inv = 1.0f / r2;
+                float r6inv = r2inv * r2inv * r2inv;
+                float f = r2inv * r6inv * (lj1 * r6inv - lj2);
+                fx += dx * f;
+                fy += dy * f;
+                fz += dz * f;
+            }
+        }
+        force[i * 3] = fx;
+        force[i * 3 + 1] = fy;
+        force[i * 3 + 2] = fz;
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int n = 73728;
+    float *pos, *force;
+    int *neighbors;
+    int threads = 256;
+    int blocks = (n + threads - 1) / threads;
+    md_kernel<<<blocks, threads>>>(pos, force, neighbors, n, 128,
+                                   16.0f, 1.5f, 2.0f);
+    return 0;
+}
+"""
+
+PF_SOURCE = r"""
+__global__ void pf_kernel(const int *wall, const int *src, int *dst,
+                          int cols, int row)
+{
+    int tx = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tx < cols) {
+        int left = tx > 0 ? src[tx - 1] : src[tx];
+        int up = src[tx];
+        int right = tx < cols - 1 ? src[tx + 1] : src[tx];
+        int best = up;
+        if (left < best) {
+            best = left;
+        }
+        if (right < best) {
+            best = right;
+        }
+        dst[tx] = wall[row * cols + tx] + best;
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int cols = 262144;
+    int rows = 128;
+    int *wall, *srcbuf, *dstbuf;
+    int threads = 256;
+    int blocks = (cols + threads - 1) / threads;
+    for (int r = 1; r < rows; ++r) {
+        pf_kernel<<<blocks, threads>>>(wall, srcbuf, dstbuf, cols, r);
+        int *tmp = srcbuf;
+        srcbuf = dstbuf;
+        dstbuf = tmp;
+    }
+    return 0;
+}
+"""
+
+PL_SOURCE = r"""
+__global__ void pl_kernel(const float *observations, float *weights,
+                          const float *particles, int n_particles,
+                          float obs_x, float obs_y, float sigma2)
+{
+    int p = blockIdx.x * blockDim.x + threadIdx.x;
+    if (p < n_particles) {
+        float dx = particles[p * 2] - obs_x;
+        float dy = particles[p * 2 + 1] - obs_y;
+        float likelihood = expf(-(dx * dx + dy * dy) / (2.0f * sigma2));
+        weights[p] = weights[p] * likelihood + 0.0000001f;
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int n_particles = 131072;
+    float *observations, *weights, *particles;
+    int threads = 256;
+    int blocks = (n_particles + threads - 1) / threads;
+    pl_kernel<<<blocks, threads>>>(observations, weights, particles,
+                                   n_particles, 1.0f, 2.0f, 0.5f);
+    return 0;
+}
+"""
+
+CFD_SOURCE = r"""
+__global__ void cfd_kernel(const float *variables, float *fluxes,
+                           const float *normals, const int *elements,
+                           int n_cells, float gamma, float pressure_ref)
+{
+    int cell = blockIdx.x * blockDim.x + threadIdx.x;
+    if (cell < n_cells) {
+        float density = variables[cell * 5];
+        float mx = variables[cell * 5 + 1];
+        float my = variables[cell * 5 + 2];
+        float mz = variables[cell * 5 + 3];
+        float energy = variables[cell * 5 + 4];
+        float inv_density = 1.0f / density;
+        float vx = mx * inv_density;
+        float vy = my * inv_density;
+        float vz = mz * inv_density;
+        float speed2 = vx * vx + vy * vy + vz * vz;
+        float pressure = (gamma - 1.0f) * (energy - 0.5f * density * speed2);
+        float flux_d = 0.0f;
+        float flux_x = 0.0f;
+        float flux_y = 0.0f;
+        float flux_z = 0.0f;
+        float flux_e = 0.0f;
+        for (int face = 0; face < 4; ++face) {
+            int nb = elements[cell * 4 + face];
+            float nx = normals[(cell * 4 + face) * 3];
+            float ny = normals[(cell * 4 + face) * 3 + 1];
+            float nz = normals[(cell * 4 + face) * 3 + 2];
+            float nb_density = variables[nb * 5];
+            float nb_mx = variables[nb * 5 + 1];
+            float nb_my = variables[nb * 5 + 2];
+            float nb_mz = variables[nb * 5 + 3];
+            float nb_energy = variables[nb * 5 + 4];
+            float nb_inv = 1.0f / nb_density;
+            float nb_vx = nb_mx * nb_inv;
+            float nb_vy = nb_my * nb_inv;
+            float nb_vz = nb_mz * nb_inv;
+            float nb_speed2 = nb_vx * nb_vx + nb_vy * nb_vy + nb_vz * nb_vz;
+            float nb_pressure = (gamma - 1.0f) *
+                (nb_energy - 0.5f * nb_density * nb_speed2);
+            float avg_p = 0.5f * (pressure + nb_pressure) - pressure_ref;
+            float normal_v = nb_vx * nx + nb_vy * ny + nb_vz * nz;
+            flux_d += nb_density * normal_v;
+            flux_x += nb_mx * normal_v + avg_p * nx;
+            flux_y += nb_my * normal_v + avg_p * ny;
+            flux_z += nb_mz * normal_v + avg_p * nz;
+            flux_e += (nb_energy + nb_pressure) * normal_v;
+        }
+        fluxes[cell * 5] = flux_d;
+        fluxes[cell * 5 + 1] = flux_x;
+        fluxes[cell * 5 + 2] = flux_y;
+        fluxes[cell * 5 + 3] = flux_z;
+        fluxes[cell * 5 + 4] = flux_e;
+    }
+}
+
+int main(int argc, char **argv)
+{
+    int n_cells = 97152;
+    float *variables, *fluxes, *normals;
+    int *elements;
+    int threads = 256;
+    int blocks = (n_cells + threads - 1) / threads;
+    cfd_kernel<<<blocks, threads>>>(variables, fluxes, normals, elements,
+                                    n_cells, 1.4f, 101325.0f);
+    return 0;
+}
+"""
+
+#: kernel name -> (source text, kernel function name)
+SOURCES: Dict[str, tuple] = {
+    "CFD": (CFD_SOURCE, "cfd_kernel"),
+    "NN": (NN_SOURCE, "nn_kernel"),
+    "PF": (PF_SOURCE, "pf_kernel"),
+    "PL": (PL_SOURCE, "pl_kernel"),
+    "MD": (MD_SOURCE, "md_kernel"),
+    "SPMV": (SPMV_SOURCE, "spmv_kernel"),
+    "MM": (MM_SOURCE, "mm_kernel"),
+    "VA": (VA_SOURCE, "va_kernel"),
+}
+
+
+def source_of(benchmark: str) -> str:
+    """CUDA-C source text of one benchmark program."""
+    if benchmark not in SOURCES:
+        raise WorkloadError(
+            f"no source for benchmark {benchmark!r} (have {sorted(SOURCES)})"
+        )
+    return SOURCES[benchmark][0]
+
+
+def kernel_name_of(benchmark: str) -> str:
+    """Name of the __global__ kernel inside a benchmark's source."""
+    if benchmark not in SOURCES:
+        raise WorkloadError(
+            f"no source for benchmark {benchmark!r} (have {sorted(SOURCES)})"
+        )
+    return SOURCES[benchmark][1]

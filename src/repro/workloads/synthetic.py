@@ -1,0 +1,93 @@
+"""Synthetic kernels and workload mixes.
+
+Not part of the paper's evaluation, but essential for testing the
+substrate and for the stress/ablation benches: parameterised kernels
+with arbitrary task counts/durations, and random multi-process arrival
+patterns (a cloud-style stream of short queries hitting a GPU that also
+runs long batch kernels — the scenario §2.2 motivates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from ..gpu.kernel import KernelImage, KernelMode, ResourceUsage, TaskModel
+
+
+def synthetic_kernel(
+    name: str,
+    tasks: int,
+    task_us: float,
+    threads_per_cta: int = 256,
+    regs_per_thread: int = 32,
+    shared_mem: int = 0,
+    jitter: float = 0.0,
+) -> KernelImage:
+    """A synthetic original kernel with a uniform task model."""
+    if tasks < 1:
+        raise WorkloadError("synthetic kernel needs at least one task")
+    return KernelImage(
+        name=name,
+        resources=ResourceUsage(threads_per_cta, regs_per_thread, shared_mem),
+        task_model=TaskModel(task_us, jitter),
+        mode=KernelMode.ORIGINAL,
+    )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One kernel invocation arriving at a given time."""
+
+    at_us: float
+    kernel_name: str
+    input_name: str
+    priority: int = 0
+
+
+@dataclass
+class ArrivalTrace:
+    """A multi-tenant arrival pattern over the benchmark suite."""
+
+    arrivals: List[Arrival] = field(default_factory=list)
+
+    def sorted(self) -> List[Arrival]:
+        return sorted(self.arrivals, key=lambda a: a.at_us)
+
+    @property
+    def horizon_us(self) -> float:
+        return max((a.at_us for a in self.arrivals), default=0.0)
+
+
+def poisson_trace(
+    kernel_names: List[str],
+    rate_per_ms: float,
+    duration_ms: float,
+    seed: int = 0,
+    input_names: Optional[List[str]] = None,
+    priorities: Optional[List[int]] = None,
+) -> ArrivalTrace:
+    """Poisson arrivals of random kernels — the 'large number of short
+    queries from user-facing interactive applications' of §2.2."""
+    if rate_per_ms <= 0 or duration_ms <= 0:
+        raise WorkloadError("rate and duration must be positive")
+    rng = random.Random(seed)
+    input_names = input_names or ["small"]
+    priorities = priorities or [0]
+    t = 0.0
+    trace = ArrivalTrace()
+    while True:
+        t += rng.expovariate(rate_per_ms) * 1000.0  # to microseconds
+        if t > duration_ms * 1000.0:
+            break
+        trace.arrivals.append(
+            Arrival(
+                at_us=t,
+                kernel_name=rng.choice(kernel_names),
+                input_name=rng.choice(input_names),
+                priority=rng.choice(priorities),
+            )
+        )
+    return trace

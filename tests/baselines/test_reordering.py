@@ -1,0 +1,30 @@
+"""Kernel-reordering baseline tests (§6.3.2)."""
+
+import pytest
+
+from repro.baselines.reordering import ReorderingCoRun
+
+
+class TestReordering:
+    def test_waiters_run_shortest_first(self, suite):
+        corun = ReorderingCoRun(suite.device, suite)
+        corun.submit_at(0.0, "blocker", "NN", "large")
+        big = corun.submit_at(10.0, "big", "MM", "small")
+        small = corun.submit_at(20.0, "small", "SPMV", "small")
+        result = corun.run()
+        assert result.all_finished
+        assert small.finished_at < big.finished_at
+
+    def test_running_kernel_never_interrupted(self, suite):
+        corun = ReorderingCoRun(suite.device, suite)
+        blocker = corun.submit_at(0.0, "blocker", "NN", "large")
+        waiter = corun.submit_at(10.0, "w", "SPMV", "small")
+        corun.run()
+        # the waiter could not start before the blocker finished
+        assert waiter.finished_at > blocker.finished_at
+
+    def test_idle_gpu_starts_immediately(self, suite):
+        corun = ReorderingCoRun(suite.device, suite)
+        inv = corun.submit_at(0.0, "only", "VA", "trivial")
+        corun.run()
+        assert inv.turnaround_us < 200.0

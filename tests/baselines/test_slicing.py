@@ -1,0 +1,93 @@
+"""Kernel-slicing baseline tests."""
+
+import math
+
+import pytest
+
+from repro.baselines.slicing import (
+    SlicedKernelRun,
+    default_slice_tasks,
+    flep_equivalent_slice_tasks,
+    sliced_solo_exec_us,
+)
+from repro.baselines.mps_corun import solo_exec_us
+from repro.errors import ExperimentError, WorkloadError
+from repro.gpu.gpu import SimulatedGPU
+from repro.gpu.sim import Simulator
+
+
+class TestSliceSizing:
+    def test_default_is_one_wave(self, suite):
+        assert default_slice_tasks(suite["VA"]) == 120
+
+    def test_flep_equivalent_scales_with_L(self, suite):
+        assert flep_equivalent_slice_tasks(suite["VA"], 200) == 200 * 120
+        assert flep_equivalent_slice_tasks(suite["CFD"], 1) == 120
+
+
+class TestSlicedExecution:
+    def test_slice_count(self, suite):
+        kspec = suite["MM"]
+        inp = kspec.input("large")
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, suite.device)
+        run = SlicedKernelRun(sim, gpu, kspec, inp, slice_tasks=240)
+        run.start()
+        sim.run()
+        assert run.finished
+        assert run.result.slices == math.ceil(inp.tasks / 240)
+        assert len(run.result.slice_finish_times) == run.result.slices
+
+    def test_overhead_grows_with_finer_slices(self, suite):
+        coarse = sliced_solo_exec_us("MM", "large", slice_tasks=13795,
+                                     device=suite.device, suite=suite)
+        fine = sliced_solo_exec_us("MM", "large", slice_tasks=240,
+                                   device=suite.device, suite=suite)
+        assert fine > coarse
+
+    def test_naive_granularity_over_10_percent_for_several(self, suite):
+        """§2.2's claim: one-wave slicing costs >10% for several
+        benchmarks."""
+        over = 0
+        for bench in ("CFD", "SPMV", "MM", "MD"):
+            orig = solo_exec_us(bench, "large", suite.device, suite)
+            sliced = sliced_solo_exec_us(
+                bench, "large",
+                slice_tasks=default_slice_tasks(suite[bench]),
+                device=suite.device, suite=suite,
+            )
+            if (sliced - orig) / orig > 0.10:
+                over += 1
+        assert over >= 2
+
+    def test_preempt_at_slice_boundary(self, suite):
+        kspec = suite["SPMV"]
+        inp = kspec.input("large")
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, suite.device)
+        run = SlicedKernelRun(sim, gpu, kspec, inp, slice_tasks=2400)
+        run.start()
+        sim.schedule(1_000.0, run.preempt)
+        sim.run()
+        assert not run.finished
+        assert run.result.preempted_after_slice is not None
+        assert run.remaining > 0
+        run.resume()
+        sim.run()
+        assert run.finished
+        assert run.remaining == 0
+
+    def test_resume_without_preempt_rejected(self, suite):
+        kspec = suite["VA"]
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, suite.device)
+        run = SlicedKernelRun(sim, gpu, kspec, kspec.input("trivial"), 40)
+        with pytest.raises(ExperimentError):
+            run.resume()
+
+    def test_zero_slice_rejected(self, suite):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, suite.device)
+        with pytest.raises(WorkloadError):
+            SlicedKernelRun(sim, gpu, suite["VA"],
+                            suite["VA"].input("trivial"), 0)

@@ -1,0 +1,100 @@
+"""Codegen round-trip tests: emitted source re-parses to the same shape."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ast
+from repro.compiler.codegen import emit, emit_unit
+from repro.compiler.parser import parse, parse_expression
+from repro.workloads.sources import SOURCES
+
+
+def normalize(node):
+    """Structural fingerprint of an AST (field order insensitive to
+    formatting)."""
+    if isinstance(node, list):
+        return [normalize(n) for n in node]
+    if isinstance(
+        node,
+        (
+            ast.Expr,
+            ast.Stmt,
+            ast.Function,
+            ast.TranslationUnit,
+            ast.Param,
+            ast.Declarator,
+        ),
+    ):
+        return (
+            type(node).__name__,
+            {k: normalize(v) for k, v in vars(node).items()},
+        )
+    return node
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    def test_benchmark_sources_roundtrip(self, bench):
+        src, _ = SOURCES[bench]
+        unit1 = parse(src)
+        text = emit_unit(unit1)
+        unit2 = parse(text)
+        assert normalize(unit1) == normalize(unit2)
+
+    def test_emit_is_stable_fixed_point(self):
+        src, _ = SOURCES["MM"]
+        once = emit_unit(parse(src))
+        twice = emit_unit(parse(once))
+        assert once == twice
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a / b / c",
+            "x = y = z + 1",
+            "p->q.r[i](j)",
+            "cond ? a + 1 : b * 2",
+            "-x * !y",
+            "(float)n / 2",
+            "a << 2 | b & 3",
+            "i++ + ++j",
+        ],
+    )
+    def test_expression_roundtrip(self, expr):
+        e1 = parse_expression(expr)
+        text = emit(e1)
+        e2 = parse_expression(text)
+        assert normalize(e1) == normalize(e2)
+
+
+# a tiny random expression generator for the property test
+_names = st.sampled_from(["a", "b", "c", "n", "x"])
+_ops = st.sampled_from(["+", "-", "*", "/", "<", "==", "&&", "||", "&", "<<"])
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            _names.map(ast.Name),
+            st.integers(0, 99).map(lambda v: ast.Literal(str(v))),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        st.tuples(_ops, sub, sub).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Ternary(t[0], t[1], t[2])),
+        sub.map(lambda e: ast.Unary("-", e)),
+        st.tuples(sub, sub).map(lambda t: ast.Index(t[0], t[1])),
+    )
+
+
+class TestRandomExpressions:
+    @given(expr=_exprs(4))
+    @settings(max_examples=150, deadline=None)
+    def test_random_expression_roundtrip(self, expr):
+        text = emit(expr)
+        reparsed = parse_expression(text)
+        assert normalize(reparsed) == normalize(expr)

@@ -1,0 +1,118 @@
+"""Figure-5 host-transform tests."""
+
+import pytest
+
+from repro.compiler import ast
+from repro.compiler.codegen import emit_function, emit_unit
+from repro.compiler.engine import CompilationEngine
+from repro.compiler.host_transform import make_wrapper, transform_host
+from repro.compiler.parser import parse
+from repro.compiler.transforms import TransformKind, transform_kernel
+from repro.workloads.sources import SOURCES
+
+
+def build(src):
+    unit = parse(src)
+    kernel = unit.kernels()[0]
+    tk = transform_kernel(kernel, TransformKind.SPATIAL)
+    return unit, kernel, tk
+
+
+class TestLaunchRewriting:
+    def test_launch_replaced_with_wrapper_call(self):
+        unit, kernel, tk = build(SOURCES["VA"][0])
+        result = transform_host(unit, {kernel.name: tk})
+        assert result.rewritten_launches == 1
+        text = emit_unit(unit)
+        assert "<<<" not in text.split("__global__")[0] or True
+        main = unit.function("main")
+        main_text = "\n".join(
+            emit_function(main).splitlines()
+        )
+        assert "flep_invoke_va_kernel(blocks, threads, a, b, c, n);" in (
+            main_text
+        )
+        assert "<<<" not in main_text
+
+    def test_loop_launches_all_rewritten(self):
+        # PF launches inside a for loop
+        unit, kernel, tk = build(SOURCES["PF"][0])
+        result = transform_host(unit, {kernel.name: tk})
+        assert result.rewritten_launches == 1
+        assert "<<<" not in emit_function(unit.function("main"))
+
+    def test_unrelated_launches_untouched(self):
+        src = """
+        __global__ void k(int n) { int i = blockIdx.x; }
+        __global__ void other(int n) { int i = blockIdx.x; }
+        int main() {
+            k<<<10, 256>>>(1);
+            other<<<10, 256>>>(2);
+            return 0;
+        }
+        """
+        unit = parse(src)
+        k = unit.function("k")
+        tk = transform_kernel(k, TransformKind.SPATIAL)
+        result = transform_host(unit, {"k": tk})
+        assert result.rewritten_launches == 1
+        main_text = emit_function(unit.function("main"))
+        assert "other<<<" in main_text
+
+
+class TestWrapper:
+    def test_wrapper_implements_state_machine(self):
+        unit, kernel, tk = build(SOURCES["NN"][0])
+        wrapper = make_wrapper(kernel, tk)
+        text = emit_function(wrapper)
+        # S1 -> S2: submit, not launch
+        assert 'flep_runtime_submit("nn_kernel"' in text
+        # S2: wait for the scheduling decision
+        assert "flep_runtime_wait" in text
+        # S2 -> S3: launch the transformed kernel with runtime args
+        assert f"{tk.name}<<<" in text
+        assert "flep_runtime_flag(flep_h)" in text
+        assert "flep_runtime_counter(flep_h)" in text
+        # S3: sync; handle both outcomes
+        assert "flep_runtime_sync" in text
+        assert "flep_runtime_complete" in text
+        assert "flep_runtime_ack_preempt" in text
+
+    def test_wrapper_keeps_original_params(self):
+        unit, kernel, tk = build(SOURCES["SPMV"][0])
+        wrapper = make_wrapper(kernel, tk)
+        names = [p.name for p in wrapper.params]
+        assert names[:2] == ["flep_grid", "flep_block"]
+        assert names[2:] == [p.name for p in kernel.params]
+
+    def test_wrapper_reparses(self):
+        unit, kernel, tk = build(SOURCES["MD"][0])
+        text = emit_function(make_wrapper(kernel, tk))
+        parse(text)
+
+
+class TestEngineEndToEnd:
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    def test_compile_every_benchmark(self, bench):
+        engine = CompilationEngine()
+        program = engine.compile_benchmark(bench)
+        assert program.rewritten_launches >= 1
+        info = program.kernel(SOURCES[bench][1])
+        assert info.occupancy.max_ctas_per_sm >= 1
+        assert ".visible .entry" in info.ptx
+        assert "flep_invoke_" in program.transformed_source
+        # all three Figure-4 forms present
+        assert len(info.transformed) == 3
+
+    def test_no_kernel_program_rejected(self):
+        from repro.errors import CompilationError
+
+        with pytest.raises(CompilationError, match="no __global__"):
+            CompilationEngine().compile_source("int main() { return 0; }")
+
+    def test_unknown_kernel_lookup_rejected(self):
+        from repro.errors import CompilationError
+
+        program = CompilationEngine().compile_benchmark("VA")
+        with pytest.raises(CompilationError):
+            program.kernel("nope")

@@ -1,0 +1,96 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.compiler.lexer import TokType, Token, TokenStream, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_identifiers_and_numbers(self):
+        toks = kinds("foo bar42 123 0x1F 1.5f 1e-3")
+        assert toks == [
+            (TokType.IDENT, "foo"),
+            (TokType.IDENT, "bar42"),
+            (TokType.NUMBER, "123"),
+            (TokType.NUMBER, "0x1F"),
+            (TokType.NUMBER, "1.5f"),
+            (TokType.NUMBER, "1e-3"),
+        ]
+
+    def test_triple_chevrons(self):
+        toks = kinds("k<<<g, b>>>(x);")
+        values = [v for _, v in toks]
+        assert "<<<" in values and ">>>" in values
+
+    def test_maximal_munch(self):
+        toks = kinds("a<<b; c<<=d; e<f;")
+        values = [v for _, v in toks]
+        assert "<<" in values and "<<=" in values and "<" in values
+
+    def test_string_and_char(self):
+        toks = kinds('"hello \\"x\\"" \'c\'')
+        assert toks[0] == (TokType.STRING, '"hello \\"x\\""')
+        assert toks[1] == (TokType.CHAR, "'c'")
+
+    def test_comments_skipped(self):
+        toks = kinds("a // line\n/* block\nmore */ b")
+        assert [v for _, v in toks] == ["a", "b"]
+
+    def test_preprocessor_kept_verbatim(self):
+        toks = kinds("#include <cuda.h>\nint x;")
+        assert toks[0][0] is TokType.PREPROC
+        assert toks[0][1] == "#include <cuda.h>"
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3 and toks[2].column == 3
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("int a = 5 @ 3;")
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.peek().value == "a"
+        assert ts.peek(1).value == "b"
+        assert ts.next().value == "a"
+        assert ts.next().value == "b"
+        assert ts.at_eof()
+
+    def test_eof_is_sticky(self):
+        ts = TokenStream(tokenize("a"))
+        ts.next()
+        assert ts.next().type is TokType.EOF
+        assert ts.next().type is TokType.EOF
+
+    def test_expect_punct_error_message(self):
+        ts = TokenStream(tokenize("a"))
+        with pytest.raises(ParseError, match="expected ';'"):
+            ts.expect_punct(";")
+
+    def test_seek_backtracks(self):
+        ts = TokenStream(tokenize("a b c"))
+        pos = ts.pos
+        ts.next()
+        ts.next()
+        ts.seek(pos)
+        assert ts.peek().value == "a"

@@ -1,0 +1,200 @@
+"""Parser tests: statements, expressions, precedence, launches."""
+
+import pytest
+
+from repro.compiler import ast
+from repro.compiler.parser import parse, parse_expression
+from repro.errors import ParseError
+
+
+def parse_stmts(body):
+    unit = parse("void f() {\n" + body + "\n}")
+    return unit.function("f").body.body
+
+
+class TestFunctions:
+    def test_kernel_qualifier_detected(self):
+        unit = parse("__global__ void k(int n) { }")
+        assert len(unit.kernels()) == 1
+        assert unit.kernels()[0].name == "k"
+
+    def test_host_function_is_not_kernel(self):
+        unit = parse("int main() { return 0; }")
+        assert unit.kernels() == []
+        assert unit.function("main").return_type == "int"
+
+    def test_params_with_pointers_and_quals(self):
+        unit = parse("__global__ void k(const float *a, unsigned int n) { }")
+        params = unit.kernels()[0].params
+        assert params[0].pointer == 1
+        assert "const" in params[0].qualifiers
+        assert params[1].base_type == "unsigned int"
+
+    def test_prototype_parses(self):
+        unit = parse("extern int helper(int a);\nint main() { return 0; }")
+        assert unit.function("helper") is not None
+
+    def test_preprocessor_preserved(self):
+        unit = parse("#include <stdio.h>\nint main() { return 0; }")
+        assert isinstance(unit.items[0], ast.Raw)
+        assert unit.items[0].text == "#include <stdio.h>"
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        (stmt,) = parse_stmts("int i = blockIdx.x * blockDim.x + threadIdx.x;")
+        assert isinstance(stmt, ast.Decl)
+        assert stmt.declarators[0].name == "i"
+        assert stmt.declarators[0].init is not None
+
+    def test_shared_array_declaration(self):
+        (stmt,) = parse_stmts("__shared__ float tile[16][16];")
+        assert "__shared__" in stmt.qualifiers
+        assert len(stmt.declarators[0].array_dims) == 2
+
+    def test_multi_declarator(self):
+        (stmt,) = parse_stmts("float a, b = 1.0f, *c;")
+        names = [d.name for d in stmt.declarators]
+        assert names == ["a", "b", "c"]
+        assert stmt.declarators[2].pointer == 1
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (a < b) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_for_loop(self):
+        (stmt,) = parse_stmts("for (int j = 0; j < n; ++j) sum += a[j];")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Decl)
+
+    def test_while_and_break(self):
+        (stmt,) = parse_stmts("while (1) { if (done) break; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        (stmt,) = parse_stmts("do { x++; } while (x < 3);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_return_void_and_value(self):
+        stmts = parse_stmts("if (x) return; return 1 + 2;")
+        assert stmts[0].then.value is None if isinstance(
+            stmts[0].then, ast.Return) else True
+        assert isinstance(stmts[1], ast.Return)
+
+    def test_empty_statement(self):
+        (stmt,) = parse_stmts(";")
+        assert isinstance(stmt, ast.ExprStmt) and stmt.expr is None
+
+    def test_asm_kept_verbatim(self):
+        (decl, stmt) = parse_stmts(
+            'unsigned int smid;\n'
+            'asm("mov.u32 %0, %%smid;" : "=r"(smid));'
+        )
+        assert isinstance(stmt, ast.Raw)
+        assert "smid" in stmt.text
+
+
+class TestKernelLaunch:
+    def test_basic_launch(self):
+        (stmt,) = parse_stmts("k<<<blocks, threads>>>(a, b, n);")
+        assert isinstance(stmt, ast.KernelLaunch)
+        assert stmt.kernel == "k"
+        assert len(stmt.args) == 3
+        assert stmt.shared_mem is None
+
+    def test_launch_with_shared_and_stream(self):
+        (stmt,) = parse_stmts("k<<<g, b, 1024, s>>>(x);")
+        assert stmt.shared_mem is not None
+        assert stmt.stream is not None
+
+    def test_launch_with_expression_config(self):
+        (stmt,) = parse_stmts("k<<<(n + 255) / 256, 256>>>(x, n);")
+        assert isinstance(stmt.grid, ast.Binary)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_parens_override(self):
+        e = parse_expression("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "+"
+
+    def test_comparison_and_logic(self):
+        e = parse_expression("a < b && c >= d || !e")
+        assert e.op == "||"
+
+    def test_assignment_right_associative(self):
+        e = parse_expression("a = b = c")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expression("sum += a[j] * x[cols[j]]")
+        assert isinstance(e, ast.Assign) and e.op == "+="
+
+    def test_ternary(self):
+        e = parse_expression("x > 0 ? x : -x")
+        assert isinstance(e, ast.Ternary)
+
+    def test_member_chain(self):
+        e = parse_expression("blockIdx.x")
+        assert isinstance(e, ast.Member) and e.member == "x"
+
+    def test_arrow(self):
+        e = parse_expression("p->field")
+        assert isinstance(e, ast.Member) and e.arrow
+
+    def test_call_and_index(self):
+        e = parse_expression("f(a, g(b))[i]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Call)
+
+    def test_cast(self):
+        e = parse_expression("(unsigned int)x")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "unsigned int"
+
+    def test_pointer_cast(self):
+        e = parse_expression("(float*)buf")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "float*"
+
+    def test_postfix_increment(self):
+        e = parse_expression("i++")
+        assert isinstance(e, ast.Unary) and not e.prefix
+
+    def test_unary_chain(self):
+        e = parse_expression("-*p")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+        assert isinstance(e.operand, ast.Unary) and e.operand.op == "*"
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void f() { if (x) {")
+
+    def test_garbage_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + + ;")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("a b")
+
+    def test_error_carries_location(self):
+        try:
+            parse("void f() {\n  int x = ;\n}")
+        except ParseError as e:
+            assert e.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

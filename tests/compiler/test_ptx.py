@@ -1,0 +1,99 @@
+"""Toy-PTX emission and resource linear-scan tests."""
+
+import pytest
+
+from repro.compiler.parser import parse
+from repro.compiler.ptx import (
+    _const_int,
+    emit_ptx,
+    estimate_resources,
+    scan_resources,
+)
+from repro.errors import CompilationError
+from repro.workloads.sources import SOURCES
+
+
+def kernel_of(bench):
+    return parse(SOURCES[bench][0]).kernels()[0]
+
+
+class TestEstimation:
+    def test_bigger_kernel_more_registers(self):
+        va = estimate_resources(kernel_of("VA"))
+        cfd = estimate_resources(kernel_of("CFD"))
+        assert cfd.regs_per_thread > va.regs_per_thread
+
+    def test_shared_memory_from_shared_decls(self):
+        mm = estimate_resources(kernel_of("MM"))
+        # two 16x16 float tiles = 2 * 16 * 16 * 4 bytes
+        assert mm.shared_mem_per_cta == 2 * 16 * 16 * 4
+
+    def test_no_shared_decls_zero_shared(self):
+        assert estimate_resources(kernel_of("VA")).shared_mem_per_cta == 0
+
+    def test_register_bounds(self):
+        for bench in SOURCES:
+            res = estimate_resources(kernel_of(bench))
+            assert 16 <= res.regs_per_thread <= 255
+
+    def test_non_kernel_rejected(self):
+        fn = parse("void f() { }").function("f")
+        with pytest.raises(CompilationError):
+            estimate_resources(fn)
+
+    def test_estimation_is_deterministic(self):
+        a = estimate_resources(kernel_of("MD"))
+        b = estimate_resources(kernel_of("MD"))
+        assert a == b
+
+
+class TestConstInt:
+    def test_literal(self):
+        from repro.compiler.parser import parse_expression
+
+        assert _const_int(parse_expression("16")) == 16
+        assert _const_int(parse_expression("0x10")) == 16
+        assert _const_int(parse_expression("4 * 4 + 2")) == 18
+
+    def test_non_constant_rejected(self):
+        from repro.compiler.parser import parse_expression
+
+        with pytest.raises(CompilationError):
+            _const_int(parse_expression("n"))
+
+
+class TestPTXText:
+    def test_has_entry_and_target(self):
+        ptx = emit_ptx(kernel_of("VA"))
+        assert ".visible .entry va_kernel(" in ptx
+        assert ".target sm_35" in ptx
+        assert ".address_size 64" in ptx
+
+    def test_params_declared(self):
+        ptx = emit_ptx(kernel_of("SPMV"))
+        decls = [l for l in ptx.splitlines() if l.strip().startswith(".param")]
+        assert len(decls) == 6  # spmv has 6 parameters
+
+    def test_shared_directive_when_needed(self):
+        assert ".shared" in emit_ptx(kernel_of("MM"))
+        assert ".shared" not in emit_ptx(kernel_of("VA"))
+
+
+class TestScan:
+    def test_scan_recovers_shared_mem(self):
+        ptx = emit_ptx(kernel_of("MM"))
+        usage = scan_resources(ptx)
+        assert usage.shared_mem_per_cta == 2 * 16 * 16 * 4
+
+    def test_scan_register_bounds(self):
+        for bench in SOURCES:
+            usage = scan_resources(emit_ptx(kernel_of(bench)))
+            assert 16 <= usage.regs_per_thread <= 255
+
+    def test_scan_rejects_registerless_text(self):
+        with pytest.raises(CompilationError):
+            scan_resources("// empty\n")
+
+    def test_threads_passed_through(self):
+        usage = scan_resources(emit_ptx(kernel_of("VA")), threads_per_cta=128)
+        assert usage.threads_per_cta == 128

@@ -1,0 +1,158 @@
+"""Figure-4 transform tests."""
+
+import pytest
+
+from repro.compiler import ast
+from repro.compiler.codegen import emit_function
+from repro.compiler.parser import parse
+from repro.compiler.transforms import (
+    RESERVED,
+    TransformKind,
+    transform_all,
+    transform_kernel,
+)
+from repro.errors import TransformError
+from repro.workloads.sources import SOURCES
+
+SIMPLE = """
+__global__ void k(const float *a, float *b, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        b[i] = a[i] * 2.0f;
+    }
+}
+"""
+
+
+def kernel_of(src):
+    return parse(src).kernels()[0]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("kind", list(TransformKind))
+    def test_flep_params_appended(self, kind):
+        tk = transform_kernel(kernel_of(SIMPLE), kind)
+        names = [p.name for p in tk.function.params]
+        assert names[:3] == ["a", "b", "n"]
+        assert "flep_P" in names
+        assert "flep_counter" in names
+        assert "flep_total" in names
+        if kind is TransformKind.TEMPORAL:
+            assert "flep_L" not in names  # Figure 4 (a) has no factor
+        else:
+            assert "flep_L" in names
+
+    def test_names_by_kind(self):
+        k = kernel_of(SIMPLE)
+        assert transform_kernel(k, TransformKind.TEMPORAL).name == (
+            "k__flep_temporal"
+        )
+        assert transform_kernel(
+            k, TransformKind.TEMPORAL_AMORTIZED
+        ).name == "k__flep"
+        assert transform_kernel(k, TransformKind.SPATIAL).name == (
+            "k__flep_spatial"
+        )
+
+    def test_block_idx_remapped_to_task(self):
+        tk = transform_kernel(kernel_of(SIMPLE), TransformKind.SPATIAL)
+        text = emit_function(tk.function)
+        assert "blockIdx" not in text
+        assert "flep_task * blockDim.x + threadIdx.x" in text
+
+    def test_spatial_reads_smid(self):
+        text = emit_function(
+            transform_kernel(kernel_of(SIMPLE), TransformKind.SPATIAL).function
+        )
+        assert "%%smid" in text
+        assert "flep_smid < *flep_P" in text
+
+    def test_temporal_checks_boolean_flag(self):
+        text = emit_function(
+            transform_kernel(
+                kernel_of(SIMPLE), TransformKind.TEMPORAL
+            ).function
+        )
+        assert "*flep_P != 0u" in text
+        assert "%%smid" not in text
+
+    def test_single_thread_pulls_and_broadcasts(self):
+        """§4.1's optimization: thread 0 pulls; shared memory +
+        __syncthreads broadcast."""
+        text = emit_function(
+            transform_kernel(
+                kernel_of(SIMPLE), TransformKind.TEMPORAL_AMORTIZED
+            ).function
+        )
+        assert "threadIdx.x == 0u" in text
+        assert "atomicAdd(flep_counter, 1u)" in text
+        assert "__shared__ unsigned int flep_task" in text
+        assert text.count("__syncthreads()") >= 2
+
+    def test_amortized_loop_bounded_by_L(self):
+        text = emit_function(
+            transform_kernel(
+                kernel_of(SIMPLE), TransformKind.TEMPORAL_AMORTIZED
+            ).function
+        )
+        assert "flep_i < flep_L" in text
+
+    def test_transform_all_gives_three_forms(self):
+        forms = transform_all(kernel_of(SIMPLE))
+        assert {f.kind for f in forms} == set(TransformKind)
+
+    def test_transformed_source_reparses(self):
+        for kind in TransformKind:
+            text = emit_function(
+                transform_kernel(kernel_of(SIMPLE), kind).function
+            )
+            reparsed = parse(text)
+            assert len(reparsed.kernels()) == 1
+
+    def test_original_function_untouched(self):
+        kernel = kernel_of(SIMPLE)
+        before = emit_function(kernel)
+        transform_kernel(kernel, TransformKind.SPATIAL)
+        assert emit_function(kernel) == before
+
+
+class TestValidation:
+    def test_non_kernel_rejected(self):
+        fn = parse("void helper(int x) { }").function("helper")
+        with pytest.raises(TransformError):
+            transform_kernel(fn, TransformKind.TEMPORAL)
+
+    def test_reserved_name_clash_rejected(self):
+        src = """
+        __global__ void k(float *flep_P, int n) { int i = blockIdx.x; }
+        """
+        with pytest.raises(TransformError, match="reserved"):
+            transform_kernel(kernel_of(src), TransformKind.TEMPORAL)
+
+    def test_2d_grid_rejected_loudly(self):
+        src = """
+        __global__ void k(float *a)
+        {
+            int i = blockIdx.x + blockIdx.y * gridDim.x;
+            a[i] = 0.0f;
+        }
+        """
+        with pytest.raises(TransformError, match="blockIdx.y"):
+            transform_kernel(kernel_of(src), TransformKind.TEMPORAL)
+
+    def test_reserved_list_is_exported(self):
+        assert "flep_task" in RESERVED
+
+
+class TestAllBenchmarks:
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    @pytest.mark.parametrize("kind", list(TransformKind))
+    def test_every_benchmark_transforms(self, bench, kind):
+        src, kname = SOURCES[bench]
+        kernel = parse(src).kernels()[0]
+        tk = transform_kernel(kernel, kind)
+        text = emit_function(tk.function)
+        assert "blockIdx" not in text
+        assert tk.original_name == kname
+        parse(text)  # re-parseable

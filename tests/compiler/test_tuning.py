@@ -1,0 +1,56 @@
+"""Offline amortizing-factor tuning tests — the Table 1 match."""
+
+import pytest
+
+from repro.compiler.tuning import tune_amortizing_factor
+from repro.errors import CompilationError
+from repro.workloads.benchmarks import standard_suite
+from repro.workloads.calibration import (
+    MAX_TRANSFORM_OVERHEAD,
+    TABLE1,
+    analytic_amortizing_factor,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return standard_suite()
+
+
+class TestTable1Match:
+    @pytest.mark.parametrize("bench", sorted(TABLE1))
+    def test_measured_tuner_reproduces_table1(self, suite, bench):
+        """The simulating tuner must land on the paper's factor."""
+        result = tune_amortizing_factor(suite[bench])
+        assert result.chosen_l == TABLE1[bench].amortize_l
+
+    @pytest.mark.parametrize("bench", sorted(TABLE1))
+    def test_analytic_tuner_agrees(self, bench):
+        assert analytic_amortizing_factor(bench) == TABLE1[bench].amortize_l
+
+
+class TestTunerBehaviour:
+    def test_chosen_overhead_below_budget(self, suite):
+        result = tune_amortizing_factor(suite["NN"])
+        assert result.overhead_of(result.chosen_l) < MAX_TRANSFORM_OVERHEAD
+
+    def test_rejected_candidates_above_budget(self, suite):
+        result = tune_amortizing_factor(suite["PF"])
+        for l, overhead in result.trials[:-1]:
+            assert overhead >= MAX_TRANSFORM_OVERHEAD
+
+    def test_trials_ascend(self, suite):
+        result = tune_amortizing_factor(suite["VA"])
+        ls = [l for l, _ in result.trials]
+        assert ls == sorted(ls)
+
+    def test_impossible_budget_raises(self, suite):
+        with pytest.raises(CompilationError, match="budget"):
+            tune_amortizing_factor(
+                suite["VA"], candidates=(1, 2), max_overhead=0.0001
+            )
+
+    def test_unknown_overhead_query_rejected(self, suite):
+        result = tune_amortizing_factor(suite["CFD"])
+        with pytest.raises(CompilationError):
+            result.overhead_of(999)

@@ -1,0 +1,103 @@
+"""Semantic-validator tests."""
+
+import pytest
+
+from repro.compiler.parser import parse
+from repro.compiler.transforms import TransformKind, transform_kernel
+from repro.compiler.validate import assert_valid, validate_kernel
+from repro.errors import CompilationError
+from repro.workloads.sources import SOURCES
+
+
+def kernel_of(src):
+    return parse(src).kernels()[0]
+
+
+class TestValidation:
+    def test_clean_kernel_passes(self):
+        k = kernel_of(SOURCES["VA"][0])
+        report = validate_kernel(k)
+        assert report.ok
+
+    def test_undeclared_identifier_caught(self):
+        k = kernel_of("""
+        __global__ void bad(float *a, int n)
+        {
+            int i = blockIdx.x;
+            a[i] = mystery + 1.0f;
+        }
+        """)
+        report = validate_kernel(k)
+        assert report.undeclared == ["mystery"]
+        with pytest.raises(CompilationError, match="mystery"):
+            assert_valid(k)
+
+    def test_each_undeclared_reported_once(self):
+        k = kernel_of("""
+        __global__ void bad(float *a)
+        {
+            a[0] = ghost + ghost * ghost;
+        }
+        """)
+        assert validate_kernel(k).undeclared == ["ghost"]
+
+    def test_duplicate_params_caught(self):
+        k = kernel_of("__global__ void bad(int n, float n) { }")
+        report = validate_kernel(k)
+        assert report.shadowed_params == ["n"]
+
+    def test_block_scoping(self):
+        """A declaration inside a block is not visible after it."""
+        k = kernel_of("""
+        __global__ void scoped(int n)
+        {
+            if (n > 0) {
+                int inner = 1;
+                inner = inner + 1;
+            }
+            n = inner;
+        }
+        """)
+        assert validate_kernel(k).undeclared == ["inner"]
+
+    def test_for_loop_variable_scoped_to_loop(self):
+        k = kernel_of("""
+        __global__ void loops(float *a, int n)
+        {
+            for (int j = 0; j < n; ++j) {
+                a[j] = 0.0f;
+            }
+        }
+        """)
+        assert validate_kernel(k).ok
+
+    def test_cuda_builtins_allowed(self):
+        k = kernel_of("""
+        __global__ void builtins(float *a)
+        {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            atomicAdd(a, sqrtf(1.0f));
+            __syncthreads();
+        }
+        """)
+        assert validate_kernel(k).ok
+
+    def test_raw_declaration_recognized(self):
+        """The spatial transform's 'unsigned int flep_smid;' raw line
+        must count as a declaration."""
+        k = kernel_of(SOURCES["NN"][0])
+        tk = transform_kernel(k, TransformKind.SPATIAL)
+        assert validate_kernel(tk.function).ok
+
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    @pytest.mark.parametrize("kind", list(TransformKind))
+    def test_all_transformed_kernels_validate(self, bench, kind):
+        k = kernel_of(SOURCES[bench][0])
+        tk = transform_kernel(k, kind)
+        report = validate_kernel(tk.function)
+        assert report.ok, report.undeclared
+
+    def test_non_kernel_rejected(self):
+        fn = parse("void f() { }").function("f")
+        with pytest.raises(CompilationError):
+            validate_kernel(fn)

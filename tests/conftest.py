@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Heavyweight objects (the calibrated suite, trained models, the co-run
+harness with its solo-time cache) are session-scoped: they are
+deterministic and read-only from the tests' perspective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import CoRunHarness
+from repro.gpu.device import small_test_gpu, tesla_k40
+from repro.gpu.kernel import KernelImage, ResourceUsage, TaskModel
+from repro.gpu.sim import Simulator
+from repro.workloads.benchmarks import standard_suite
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_gpu_spec():
+    """Figure 2's illustration device: 2 SMs x 2 CTA slots."""
+    return small_test_gpu(num_sms=2, max_ctas_per_sm=2)
+
+
+@pytest.fixture
+def k40():
+    return tesla_k40()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return standard_suite()
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return CoRunHarness()
+
+
+@pytest.fixture
+def simple_resources():
+    return ResourceUsage(threads_per_cta=256, regs_per_thread=16)
+
+
+@pytest.fixture
+def make_kernel(simple_resources):
+    """Factory for synthetic kernel images."""
+
+    def _make(
+        name="k",
+        task_us=10.0,
+        mode="original",
+        amortize_l=1,
+        spatial=False,
+        jitter=0.0,
+        resources=None,
+    ):
+        image = KernelImage(
+            name=name,
+            resources=resources or simple_resources,
+            task_model=TaskModel(task_us, jitter),
+        )
+        if mode == "persistent":
+            return image.transformed(amortize_l, spatial=spatial)
+        return image
+
+    return _make

@@ -1,0 +1,140 @@
+"""FFS policy tests: weighted shares, the quantum formula, and
+work-conserving rotation (§5.2.2)."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.core.policies.ffs import FFSPolicy
+from repro.errors import RuntimeEngineError
+from repro.gpu.host import HostProgram
+from repro.runtime.engine import RuntimeConfig
+
+
+def loop_system(suite, weights, max_overhead=0.10):
+    policy = FFSPolicy(weights=weights, max_overhead=max_overhead)
+    system = FlepSystem(
+        policy=policy,
+        device=suite.device,
+        suite=suite,
+        config=RuntimeConfig(oracle_model=True),
+    )
+    return system, policy
+
+
+def run_loop_pair(suite, weights, horizon_us=30_000.0,
+                  high=("SPMV", "small"), low=("NN", "large")):
+    system, policy = loop_system(suite, weights)
+    system.run_program(
+        HostProgram.single_kernel("lo", low[0], low[1], priority=0,
+                                  loop_forever=True),
+        start_at_us=0.0,
+    )
+    system.run_program(
+        HostProgram.single_kernel("hi", high[0], high[1], priority=1,
+                                  loop_forever=True),
+        start_at_us=10.0,
+    )
+    system.run(until=horizon_us)
+    system.stop_all_loops()
+    shares = {0: 0.0, 1: 0.0}
+    for inv in system.runtime.invocations:
+        for start, end in inv.record.run_segments:
+            end = end if end > start else horizon_us
+            shares[inv.priority] += min(end, horizon_us) - start
+    total = sum(shares.values())
+    return {p: s / total for p, s in shares.items()}, policy
+
+
+class TestWeightedShares:
+    def test_two_to_one_ratio(self, suite):
+        shares, _ = run_loop_pair(suite, weights={1: 2.0, 0: 1.0})
+        assert shares[1] == pytest.approx(2 / 3, abs=0.06)
+        assert shares[0] == pytest.approx(1 / 3, abs=0.06)
+
+    def test_equal_weights_split_evenly(self, suite):
+        shares, _ = run_loop_pair(suite, weights={1: 1.0, 0: 1.0})
+        assert shares[1] == pytest.approx(0.5, abs=0.06)
+
+    def test_three_to_one_ratio(self, suite):
+        # drain overshoot past epoch ends skews a few points toward the
+        # class with the longer-draining kernel; tolerance reflects that
+        shares, _ = run_loop_pair(
+            suite, weights={1: 3.0, 0: 1.0}, horizon_us=60_000.0
+        )
+        assert shares[1] == pytest.approx(0.75, abs=0.08)
+        assert shares[1] > shares[0] * 2  # clearly more than 2:1
+
+
+class TestQuantum:
+    def test_quantum_formula(self, suite):
+        """T = sum(O_i) / (max_overhead * sum(W_i))."""
+        system, policy = loop_system(suite, weights={1: 2.0, 0: 1.0})
+        system.run_program(
+            HostProgram.single_kernel("lo", "NN", "large", priority=0,
+                                      loop_forever=True))
+        system.run_program(
+            HostProgram.single_kernel("hi", "SPMV", "small", priority=1,
+                                      loop_forever=True))
+        system.run(until=100.0)
+        active = policy.active_invocations()
+        expected = sum(
+            system.runtime.preemption_overhead_us(i) for i in active
+        ) / (0.10 * sum(policy.weight_of_class(i.priority) for i in active))
+        assert policy.quantum_us() == pytest.approx(
+            max(expected, policy.min_quantum_us)
+        )
+        system.stop_all_loops()
+        system.run(until=200.0)
+
+    def test_smaller_budget_means_longer_quantum(self, suite):
+        _, loose = run_loop_pair(suite, weights={1: 1.0, 0: 1.0})
+        system, tight = loop_system(suite, {1: 1.0, 0: 1.0},
+                                    max_overhead=0.02)
+        system.run_program(
+            HostProgram.single_kernel("lo", "NN", "large", priority=0,
+                                      loop_forever=True))
+        system.run_program(
+            HostProgram.single_kernel("hi", "SPMV", "small", priority=1,
+                                      loop_forever=True))
+        system.run(until=5_000.0)
+        assert tight.quantum_us() > loose.quantum_us()
+        system.stop_all_loops()
+
+    def test_invalid_max_overhead_rejected(self):
+        with pytest.raises(RuntimeEngineError):
+            FFSPolicy(max_overhead=0.0)
+        with pytest.raises(RuntimeEngineError):
+            FFSPolicy(max_overhead=1.5)
+
+
+class TestWorkConservation:
+    def test_single_class_keeps_gpu(self, suite):
+        """With only one class active, epochs extend; no preemptions."""
+        system, _ = loop_system(suite, weights={0: 1.0})
+        system.run_program(
+            HostProgram.single_kernel("solo", "NN", "large", priority=0,
+                                      loop_forever=True))
+        system.run(until=40_000.0)
+        system.stop_all_loops()
+        for inv in system.runtime.invocations:
+            assert inv.record.preemptions == 0
+
+    def test_finite_programs_drain(self, suite):
+        """Non-looping programs complete and the rotation empties."""
+        system, _ = loop_system(suite, weights={1: 2.0, 0: 1.0})
+        system.submit_at(0.0, "a", "SPMV", "small", priority=0)
+        system.submit_at(10.0, "b", "MM", "small", priority=1)
+        system.submit_at(20.0, "c", "VA", "small", priority=0)
+        result = system.run()
+        assert result.all_finished
+
+    def test_class_with_no_work_skipped(self, suite):
+        """An arrival to an empty rotation starts immediately even when
+        another class exists but has drained."""
+        system, _ = loop_system(suite, weights={1: 2.0, 0: 1.0})
+        system.submit_at(0.0, "a", "SPMV", "small", priority=1)
+        system.submit_at(2_000.0, "late", "VA", "small", priority=0)
+        result = system.run()
+        late = result.by_process("late")[0]
+        # 'late' arrived on an idle GPU: waited ~0
+        assert late.record.waited_us < 50.0

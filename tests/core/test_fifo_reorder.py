@@ -1,0 +1,65 @@
+"""FIFO and reorder control-policy tests."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.runtime.engine import RuntimeConfig
+
+
+def system_with(policy, suite):
+    return FlepSystem(
+        policy=policy,
+        device=suite.device,
+        suite=suite,
+        config=RuntimeConfig(oracle_model=True),
+    )
+
+
+class TestFIFO:
+    def test_arrival_order_preserved(self, suite):
+        system = system_with("fifo", suite)
+        system.submit_at(0.0, "a", "MM", "small", priority=0)
+        system.submit_at(10.0, "b", "SPMV", "small", priority=5)
+        system.submit_at(20.0, "c", "VA", "small", priority=9)
+        result = system.run()
+        finishes = [
+            (p, result.by_process(p)[0].record.finished_at)
+            for p in ("a", "b", "c")
+        ]
+        assert finishes == sorted(finishes, key=lambda t: t[1])
+
+    def test_never_preempts(self, suite):
+        system = system_with("fifo", suite)
+        system.submit_at(0.0, "long", "NN", "large", priority=0)
+        system.submit_at(10.0, "short", "SPMV", "small", priority=9)
+        result = system.run()
+        assert all(
+            i.record.preemptions == 0 for i in result.invocations
+        )
+
+
+class TestReorderPolicy:
+    def test_waiting_queue_reordered_by_remaining(self, suite):
+        system = system_with("reorder", suite)
+        system.submit_at(0.0, "blocker", "NN", "large")
+        system.submit_at(10.0, "big", "MM", "small")
+        system.submit_at(20.0, "small", "SPMV", "small")
+        result = system.run()
+        big = result.by_process("big")[0]
+        small = result.by_process("small")[0]
+        blocker = result.by_process("blocker")[0]
+        # blocker never preempted; small jumps ahead of big
+        assert blocker.record.preemptions == 0
+        assert small.record.finished_at < big.record.finished_at
+        assert blocker.record.finished_at < small.record.finished_at
+
+    def test_reorder_beats_fifo_on_short_kernel(self, suite):
+        def short_turnaround(policy):
+            system = system_with(policy, suite)
+            system.submit_at(0.0, "blocker", "NN", "large")
+            system.submit_at(10.0, "big", "MM", "small")
+            system.submit_at(20.0, "small", "SPMV", "small")
+            result = system.run()
+            return result.by_process("small")[0].record.turnaround_us
+
+        assert short_turnaround("reorder") < short_turnaround("fifo")

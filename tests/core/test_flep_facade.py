@@ -1,0 +1,51 @@
+"""FlepSystem facade tests."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.errors import ExperimentError, RuntimeEngineError
+
+
+class TestFacade:
+    def test_policy_by_name(self, suite):
+        system = FlepSystem(policy="ffs", device=suite.device, suite=suite)
+        assert system.policy.name == "ffs"
+
+    def test_unknown_policy_rejected(self, suite):
+        with pytest.raises(RuntimeEngineError, match="unknown policy"):
+            FlepSystem(policy="bogus", device=suite.device, suite=suite)
+
+    def test_submit_in_past_rejected(self, suite):
+        system = FlepSystem(device=suite.device, suite=suite)
+        system.submit_at(100.0, "p", "VA", "small")
+        system.run()
+        with pytest.raises(ExperimentError):
+            system.submit_at(0.0, "late", "VA", "small")
+
+    def test_turnaround_requires_finished(self, suite):
+        system = FlepSystem(device=suite.device, suite=suite)
+        system.submit_at(0.0, "p", "NN", "large")
+        result = system.run(until=10.0)
+        with pytest.raises(ExperimentError):
+            result.turnaround_us("p")
+
+    def test_turnaround_spans_process_invocations(self, suite):
+        system = FlepSystem(device=suite.device, suite=suite)
+        system.submit_at(0.0, "p", "VA", "small")
+        system.submit_at(0.0, "p", "SPMV", "small")
+        result = system.run()
+        t = result.turnaround_us("p")
+        assert t == max(
+            i.record.finished_at for i in result.by_process("p")
+        )
+
+    def test_predicted_us_exposes_model(self, suite):
+        system = FlepSystem(device=suite.device, suite=suite)
+        pred = system.predicted_us("NN", "large")
+        assert pred == pytest.approx(15775, rel=0.25)
+
+    def test_makespan_recorded(self, suite):
+        system = FlepSystem(device=suite.device, suite=suite)
+        system.submit_at(0.0, "p", "VA", "small")
+        result = system.run()
+        assert result.makespan_us == system.now > 0

@@ -1,0 +1,147 @@
+"""HPF policy tests (Figure 6's decision paths)."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.runtime.engine import RuntimeConfig
+
+
+def hpf_system(suite, **cfg):
+    return FlepSystem(
+        policy="hpf",
+        device=suite.device,
+        suite=suite,
+        config=RuntimeConfig(oracle_model=True, **cfg),
+    )
+
+
+class TestPriorityPaths:
+    def test_higher_priority_arrival_preempts(self, suite):
+        system = hpf_system(suite)
+        system.submit_at(0.0, "low", "NN", "large", priority=0)
+        system.submit_at(100.0, "high", "SPMV", "small", priority=1)
+        result = system.run()
+        high = result.by_process("high")[0]
+        low = result.by_process("low")[0]
+        assert high.record.finished_at < low.record.finished_at
+        assert low.record.preemptions == 1
+        # high barely waited (drain + launch, not NN's 15ms)
+        assert high.record.turnaround_us < 1_000.0
+
+    def test_lower_priority_arrival_queued(self, suite):
+        system = hpf_system(suite)
+        system.submit_at(0.0, "high", "SPMV", "large", priority=1)
+        system.submit_at(100.0, "low", "VA", "small", priority=0)
+        result = system.run()
+        high = result.by_process("high")[0]
+        low = result.by_process("low")[0]
+        assert high.record.preemptions == 0
+        assert low.record.finished_at > high.record.finished_at
+
+    def test_equal_priority_srt_preempts_long_kernel(self, suite):
+        system = hpf_system(suite)
+        system.submit_at(0.0, "long", "NN", "large", priority=0)
+        system.submit_at(100.0, "short", "SPMV", "small", priority=0)
+        result = system.run()
+        long_inv = result.by_process("long")[0]
+        short_inv = result.by_process("short")[0]
+        assert long_inv.record.preemptions == 1
+        assert short_inv.record.finished_at < long_inv.record.finished_at
+
+    def test_equal_priority_no_preempt_when_not_worth_it(self, suite):
+        """A nearly-finished kernel is not preempted: remaining time
+        vs remaining + overhead (Figure 6 line 30)."""
+        system = hpf_system(suite)
+        system.submit_at(0.0, "a", "MM", "small", priority=0)  # ~1.5ms
+        # arrives with only ~100us of 'a' left
+        system.submit_at(1_400.0, "b", "MM", "small", priority=0)
+        result = system.run()
+        a = result.by_process("a")[0]
+        assert a.record.preemptions == 0
+
+    def test_queued_kernels_run_in_srt_order(self, suite):
+        system = hpf_system(suite)
+        system.submit_at(0.0, "blocker", "NN", "large", priority=0)
+        # three equal-priority waiters with distinct durations
+        system.submit_at(50.0, "mid", "PL", "small", priority=0)
+        system.submit_at(60.0, "tiny", "SPMV", "small", priority=0)
+        system.submit_at(70.0, "big", "MM", "small", priority=0)
+        result = system.run()
+        finish = {
+            p: result.by_process(p)[0].record.finished_at
+            for p in ("tiny", "mid", "big")
+        }
+        assert finish["tiny"] < finish["mid"] < finish["big"]
+
+    def test_three_priority_levels(self, suite):
+        system = hpf_system(suite)
+        system.submit_at(0.0, "p0", "NN", "large", priority=0)
+        system.submit_at(50.0, "p1", "PL", "small", priority=1)
+        system.submit_at(60.0, "p2", "SPMV", "small", priority=2)
+        result = system.run()
+        finish = {
+            p: result.by_process(p)[0].record.finished_at
+            for p in ("p0", "p1", "p2")
+        }
+        assert finish["p2"] < finish["p1"] < finish["p0"]
+        assert result.all_finished
+
+
+class TestSpatialPath:
+    def test_trivial_guest_triggers_spatial(self, suite):
+        system = hpf_system(suite, spatial_enabled=True)
+        system.submit_at(0.0, "victim", "CFD", "large", priority=0)
+        system.submit_at(500.0, "guest", "NN", "trivial", priority=1)
+        result = system.run()
+        victim = result.by_process("victim")[0]
+        # spatial: the victim never fully left the GPU
+        assert victim.record.preemptions == 0
+        assert result.all_finished
+
+    def test_spatial_disabled_forces_temporal(self, suite):
+        system = hpf_system(suite, spatial_enabled=False)
+        system.submit_at(0.0, "victim", "CFD", "large", priority=0)
+        system.submit_at(500.0, "guest", "NN", "trivial", priority=1)
+        result = system.run()
+        victim = result.by_process("victim")[0]
+        assert victim.record.preemptions == 1
+
+    def test_small_input_guest_goes_temporal(self, suite):
+        """Small inputs need all SMs (§6.1), so spatial never applies."""
+        system = hpf_system(suite, spatial_enabled=True)
+        system.submit_at(0.0, "victim", "CFD", "large", priority=0)
+        system.submit_at(500.0, "guest", "NN", "small", priority=1)
+        result = system.run()
+        victim = result.by_process("victim")[0]
+        assert victim.record.preemptions == 1
+
+    def test_two_spatial_guests_stack(self, suite):
+        system = hpf_system(suite, spatial_enabled=True)
+        system.submit_at(0.0, "victim", "VA", "large", priority=0)
+        system.submit_at(500.0, "g1", "NN", "trivial", priority=1)
+        system.submit_at(520.0, "g2", "MD", "trivial", priority=1)
+        result = system.run()
+        assert result.all_finished
+
+
+class TestAblation:
+    def test_fifo_within_priority_is_worse(self, suite):
+        """Disabling SRT within a priority level hurts responsiveness."""
+
+        from repro.core.policies.hpf import HPFPolicy
+
+        def antt_with(srt):
+            system = FlepSystem(
+                policy=HPFPolicy(srt_within_priority=srt),
+                device=suite.device,
+                suite=suite,
+                config=RuntimeConfig(oracle_model=True),
+            )
+            system.submit_at(0.0, "blocker", "NN", "large", priority=0)
+            system.submit_at(50.0, "w1", "MM", "small", priority=0)
+            system.submit_at(60.0, "w2", "SPMV", "small", priority=0)
+            result = system.run()
+            spmv = result.by_process("w2")[0]
+            return spmv.record.turnaround_us
+
+        assert antt_with(True) < antt_with(False)

@@ -1,0 +1,111 @@
+"""Figure-5 CPU state-machine tests (InterceptedProcess)."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.core.interception import CPUState, InterceptedProcess
+from repro.errors import RuntimeEngineError
+from repro.gpu.host import (
+    CopyToDevice,
+    CopyToHost,
+    HostCompute,
+    HostProgram,
+    KernelInvoke,
+)
+from repro.runtime.engine import RuntimeConfig
+
+
+def make_system(suite):
+    return FlepSystem(
+        policy="fifo",
+        device=suite.device,
+        suite=suite,
+        config=RuntimeConfig(oracle_model=True),
+    )
+
+
+class TestStateMachine:
+    def test_full_program_sequence(self, suite):
+        system = make_system(suite)
+        program = HostProgram(
+            name="app",
+            ops=[
+                HostCompute(100.0),
+                CopyToDevice(1_000_000),
+                KernelInvoke("SPMV", "small"),
+                CopyToHost(500_000),
+            ],
+        )
+        proc = system.run_program(program)
+        assert proc.state is CPUState.S1_CPU_EXECUTION
+        system.run()
+        assert proc.finished
+        assert len(proc.invocations) == 1
+        inv = proc.invocations[0]
+        # kernel arrived only after compute + H2D
+        transfer = suite.device.costs.transfer_time_us(1_000_000)
+        assert inv.record.arrived_at == pytest.approx(100.0 + transfer)
+
+    def test_invoke_enters_s2_until_scheduled(self, suite):
+        system = make_system(suite)
+        # a blocker keeps the GPU busy so the second process sits in S2
+        system.submit_at(0.0, "blocker", "NN", "large")
+        program = HostProgram("app", ops=[KernelInvoke("VA", "small")])
+        proc = system.run_program(program, start_at_us=100.0)
+        system.sim.run(until=5_000.0)
+        assert proc.state is CPUState.S2_WAIT_SCHEDULING
+        system.run()
+        assert proc.finished
+
+    def test_repeats_invoke_n_times(self, suite):
+        system = make_system(suite)
+        program = HostProgram(
+            "app", ops=[KernelInvoke("SPMV", "small", repeats=3)]
+        )
+        proc = system.run_program(program)
+        system.run()
+        assert len(proc.invocations) == 3
+        finishes = [i.record.finished_at for i in proc.invocations]
+        assert finishes == sorted(finishes)
+
+    def test_loop_forever_until_stopped(self, suite):
+        system = make_system(suite)
+        program = HostProgram(
+            "app", ops=[KernelInvoke("SPMV", "small")], loop_forever=True
+        )
+        proc = system.run_program(program)
+        system.run(until=5_000.0)
+        proc.stop()
+        system.run()
+        assert proc.finished
+        assert proc.loops_completed >= 2
+        assert len(proc.invocations) == proc.loops_completed
+
+    def test_double_start_rejected(self, suite):
+        system = make_system(suite)
+        proc = system.run_program(HostProgram("app", ops=[HostCompute(1.0)]))
+        with pytest.raises(RuntimeEngineError):
+            proc.start()
+
+    def test_empty_program_finishes_immediately(self, suite):
+        system = make_system(suite)
+        proc = system.run_program(HostProgram("empty"))
+        assert proc.finished
+
+
+class TestHostProgramData:
+    def test_single_kernel_helper(self):
+        p = HostProgram.single_kernel("x", "NN", "large", priority=3,
+                                      start_delay_us=50.0)
+        assert p.priority == 3
+        assert isinstance(p.ops[0], HostCompute)
+        assert isinstance(p.ops[1], KernelInvoke)
+        assert p.kernels()[0].kernel == "NN"
+
+    def test_validation(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            HostCompute(-1.0)
+        with pytest.raises(WorkloadError):
+            KernelInvoke("NN", repeats=0)

@@ -1,0 +1,44 @@
+"""Policy base-class contract tests."""
+
+import pytest
+
+from repro.core.policies import POLICIES, SchedulingPolicy
+from repro.core.policies.base import SchedulingPolicy as Base
+
+
+class TestContract:
+    def test_base_is_abstract(self):
+        with pytest.raises(TypeError):
+            Base()  # abstract methods unimplemented
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_registry_policies_instantiate(self, name):
+        policy = POLICIES[name]()
+        assert isinstance(policy, SchedulingPolicy)
+        assert policy.name == name
+        assert policy.rt is None  # not attached yet
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_policies_define_required_hooks(self, name):
+        policy = POLICIES[name]()
+        assert callable(policy.on_kernel_arrival)
+        assert callable(policy.on_kernel_finished)
+        assert callable(policy.on_preemption_drained)
+
+    def test_incomplete_policy_rejected(self):
+        class Partial(Base):
+            name = "partial"
+
+            def on_kernel_arrival(self, inv):
+                pass
+
+            # missing on_kernel_finished
+
+        with pytest.raises(TypeError):
+            Partial()
+
+    def test_attach_binds_runtime(self, suite):
+        from repro.core.flep import FlepSystem
+
+        system = FlepSystem(policy="fifo", device=suite.device, suite=suite)
+        assert system.policy.rt is system.runtime

@@ -1,0 +1,69 @@
+"""Preemption-planning tests (temporal vs spatial decision)."""
+
+import pytest
+
+from repro.core.preemption import (
+    PreemptionMode,
+    PreemptionPlan,
+    guest_sms_required,
+    plan_preemption,
+)
+from repro.errors import SchedulingError
+from repro.gpu.device import tesla_k40
+from repro.gpu.kernel import ResourceUsage
+
+USAGE = ResourceUsage(256, 16, 0)  # 8 CTAs/SM on the K40
+
+
+class TestGuestRequirement:
+    def test_trivial_guest_needs_five_sms(self, k40):
+        assert guest_sms_required(k40, USAGE, 40) == 5
+
+    def test_huge_guest_needs_all(self, k40):
+        assert guest_sms_required(k40, USAGE, 10**6) == 15
+
+    def test_tiny_guest_needs_one(self, k40):
+        assert guest_sms_required(k40, USAGE, 3) == 1
+
+
+class TestPlan:
+    def test_small_guest_gets_spatial(self, k40):
+        plan = plan_preemption(k40, USAGE, 40)
+        assert plan.mode is PreemptionMode.SPATIAL
+        assert plan.flag_value == 5
+        assert plan.width_sms == 5
+
+    def test_large_guest_gets_temporal(self, k40):
+        plan = plan_preemption(k40, USAGE, 10_000)
+        assert plan.mode is PreemptionMode.TEMPORAL
+        assert plan.flag_value == k40.num_sms
+
+    def test_cumulative_yields_tip_to_temporal(self, k40):
+        plan = plan_preemption(k40, USAGE, 40, already_yielded_sms=11)
+        assert plan.mode is PreemptionMode.TEMPORAL
+
+    def test_cumulative_yields_stack_spatially(self, k40):
+        plan = plan_preemption(k40, USAGE, 40, already_yielded_sms=5)
+        assert plan.mode is PreemptionMode.SPATIAL
+        assert plan.flag_value == 10
+
+    def test_forced_temporal(self, k40):
+        plan = plan_preemption(
+            k40, USAGE, 8, force_mode=PreemptionMode.TEMPORAL
+        )
+        assert plan.mode is PreemptionMode.TEMPORAL
+
+    def test_forced_width_sweep(self, k40):
+        plan = plan_preemption(k40, USAGE, 16, force_width=10)
+        assert plan.mode is PreemptionMode.SPATIAL
+        assert plan.width_sms == 10
+
+    def test_forced_spatial_impossible_raises(self, k40):
+        with pytest.raises(SchedulingError):
+            plan_preemption(
+                k40, USAGE, 10_000, force_mode=PreemptionMode.SPATIAL
+            )
+
+    def test_plan_validates_itself(self):
+        with pytest.raises(SchedulingError):
+            PreemptionPlan(PreemptionMode.SPATIAL, 0, 1)

@@ -1,0 +1,67 @@
+"""Tests for the extension experiments (ablations + elided FFS 3-way)."""
+
+import pytest
+
+from repro.experiments import ablations, ffs3
+
+
+class TestFFS3:
+    def test_three_way_weighted_shares(self):
+        report = ffs3.run(
+            triples=ffs3.DEFAULT_TRIPLES[:1], horizon_us=40_000.0
+        )
+        row = report.rows[0]
+        assert row["share_w3"] == pytest.approx(0.5, abs=0.06)
+        assert row["share_w2"] == pytest.approx(1 / 3, abs=0.06)
+        assert row["share_w1"] == pytest.approx(1 / 6, abs=0.06)
+
+    def test_share_ordering_follows_weights(self):
+        report = ffs3.run(
+            triples=ffs3.DEFAULT_TRIPLES[:2], horizon_us=30_000.0
+        )
+        for row in report.rows:
+            assert row["share_w3"] > row["share_w2"] > row["share_w1"]
+
+
+class TestAblations:
+    def test_poll_cost_sweep_shrinks_L(self):
+        report = ablations.run_poll_cost_sweep(
+            benchmarks=("NN",), poll_costs_us=(1.0, 0.1)
+        )
+        by_poll = {r["poll_us"]: r for r in report.rows}
+        assert by_poll[0.1]["tuned_l"] < by_poll[1.0]["tuned_l"]
+        # overhead budget still met at both poll costs
+        assert all(r["overhead"] < 0.04 for r in report.rows)
+        # preemption granularity improves with cheaper polls
+        assert (
+            by_poll[0.1]["preempt_granularity_us"]
+            < by_poll[1.0]["preempt_granularity_us"]
+        )
+
+    def test_slicing_granularity_dilemma(self):
+        report = ablations.run_slicing_granularity_sweep(
+            benchmark="MM", waves=(1, 5, 20)
+        )
+        overheads = [r["overhead"] for r in report.rows]
+        latencies = [r["preempt_latency_us"] for r in report.rows]
+        # overhead strictly falls as slices coarsen; latency rises
+        assert overheads == sorted(overheads, reverse=True)
+        assert latencies == sorted(latencies)
+
+    def test_model_ablation_penalty_near_one(self, harness):
+        report = ablations.run_model_ablation(harness=harness, n_pairs=4)
+        assert report.headline["penalty_mean"] == pytest.approx(
+            1.0, abs=0.08
+        )
+
+    def test_amortize_sensitivity_tradeoff(self):
+        report = ablations.run_amortize_sensitivity("NN")
+        rows = sorted(report.rows, key=lambda r: r["amortize_l"])
+        drains = [r["mean_drain_us"] for r in rows]
+        overheads = [r["overhead"] for r in rows]
+        # drain latency grows with L; overhead shrinks with L
+        assert drains[-1] > drains[0]
+        assert overheads[0] > overheads[-1]
+        # the 4% rule selects a unique frontier point
+        first_ok = next(r for r in rows if r["meets_4pct"])
+        assert first_ok["amortize_l"] == 100  # Table 1's NN factor

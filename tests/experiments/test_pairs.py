@@ -1,0 +1,56 @@
+"""Co-run pair/triplet definition tests (§6.3's experiment sets)."""
+
+from repro.experiments.pairs import (
+    EQUAL_PRIORITY_SHORT,
+    HPF_LOW_PRIORITY,
+    equal_priority_pairs,
+    hpf_priority_pairs,
+    random_triplets,
+    spatial_pairs,
+)
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+class TestPairSets:
+    def test_hpf_pairs_are_28(self):
+        pairs = hpf_priority_pairs()
+        assert len(pairs) == 28
+        assert {p.low for p in pairs} == set(HPF_LOW_PRIORITY)
+        assert all(p.low != p.high for p in pairs)
+        assert len({p.name for p in pairs}) == 28
+
+    def test_equal_priority_pairs_are_28(self):
+        pairs = equal_priority_pairs()
+        assert len(pairs) == 28
+        assert {p.high for p in pairs} == set(EQUAL_PRIORITY_SHORT)
+
+    def test_spatial_pairs_all_ordered(self):
+        pairs = spatial_pairs()
+        assert len(pairs) == 8 * 7
+        assert len({(p.low, p.high) for p in pairs}) == 56
+
+    def test_pair_naming_matches_paper(self):
+        pairs = hpf_priority_pairs()
+        names = {p.name for p in pairs}
+        assert "SPMV_NN" in names  # the paper's 24.2x highlight
+
+
+class TestTriplets:
+    def test_count_and_uniqueness(self):
+        triplets = random_triplets(28, seed=2017)
+        assert len(triplets) == 28
+        assert len({t.name for t in triplets}) == 28
+
+    def test_highlighted_triplet_first(self):
+        triplets = random_triplets(28, seed=2017)
+        assert triplets[0].name == "VA_SPMV_MM"
+
+    def test_members_distinct_and_known(self):
+        for t in random_triplets(28, seed=1):
+            assert len({t.first, t.second, t.third}) == 3
+            assert {t.first, t.second, t.third} <= set(BENCHMARK_NAMES)
+
+    def test_seed_determinism(self):
+        a = [t.name for t in random_triplets(10, seed=9)]
+        b = [t.name for t in random_triplets(10, seed=9)]
+        assert a == b

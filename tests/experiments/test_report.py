@@ -1,0 +1,54 @@
+"""ExperimentReport / geo_mean tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport, geo_mean
+
+
+class TestReport:
+    def test_rows_and_columns(self):
+        r = ExperimentReport("x", "test")
+        r.add_row(name="a", value=2.0)
+        r.add_row(name="b", value=4.0)
+        assert r.column("value") == [2.0, 4.0]
+        with pytest.raises(ExperimentError):
+            r.column("missing")
+
+    def test_summarize(self):
+        r = ExperimentReport("x", "test")
+        for v in (1.0, 2.0, 6.0):
+            r.add_row(value=v)
+        r.summarize("value")
+        assert r.headline["value_mean"] == 3.0
+        assert r.headline["value_max"] == 6.0
+        assert r.headline["value_min"] == 1.0
+
+    def test_format_contains_paper_refs(self):
+        r = ExperimentReport("fig0", "demo", paper={"value_mean": 5.0})
+        r.add_row(value=4.5)
+        r.summarize("value")
+        text = r.format()
+        assert "fig0" in text
+        assert "[paper: 5]" in text
+
+    def test_format_table_alignment(self):
+        r = ExperimentReport("x", "t")
+        r.add_row(pair="AB", speedup=1.23456)
+        table = r.format_table()
+        assert "pair" in table and "speedup" in table
+        assert "1.23" in table
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentReport("x", "t").format_table()
+
+
+class TestGeoMean:
+    def test_basic(self):
+        assert geo_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            geo_mean([1.0, 0.0])
+        with pytest.raises(ExperimentError):
+            geo_mean([])

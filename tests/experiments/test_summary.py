@@ -1,0 +1,37 @@
+"""Summary/report-generation tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.summary import render_markdown, run_all, write_report
+
+
+class TestSummary:
+    def test_run_subset(self, harness):
+        reports = run_all(harness=harness, only=["fig2", "fig7"])
+        assert set(reports) == {"fig2", "fig7"}
+
+    def test_render_markdown_structure(self, harness):
+        reports = run_all(harness=harness, only=["fig7"])
+        text = render_markdown(reports, elapsed_s=1.0)
+        assert "## fig7" in text
+        assert "| metric | measured | paper |" in text
+        assert "0.069" in text  # the paper reference appears
+
+    def test_write_report_file(self, tmp_path, harness):
+        path = tmp_path / "results.md"
+        reports = write_report(str(path), only=["table1"], harness=harness)
+        assert path.exists()
+        content = path.read_text()
+        assert "table1" in content
+        assert "amortizing_factors_matched" in content
+        assert len(reports) == 1
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "fig2"]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

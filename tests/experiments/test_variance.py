@@ -1,0 +1,36 @@
+"""Run-to-run variance harness tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import variance
+
+
+class TestVariance:
+    def test_spread_is_tight(self, suite):
+        stats = variance.repeated_speedup(
+            "NN", "SPMV", n_runs=4, device=suite.device, suite=suite
+        )
+        assert stats["runs"] == 4
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        # jitter-driven spread is small relative to the effect size
+        assert stats["stdev"] / stats["mean"] < 0.10
+
+    def test_speedup_band_preserved_under_jitter(self, suite):
+        stats = variance.repeated_speedup(
+            "NN", "SPMV", n_runs=3, device=suite.device, suite=suite
+        )
+        assert 20 < stats["mean"] < 40
+
+    def test_needs_two_runs(self, suite):
+        with pytest.raises(ExperimentError):
+            variance.repeated_speedup(
+                "NN", "SPMV", n_runs=1, device=suite.device, suite=suite
+            )
+
+    def test_report_shape(self, suite):
+        report = variance.run(
+            pairs=[("SPMV", "NN")], n_runs=3, device=suite.device
+        )
+        assert report.rows[0]["pair"] == "SPMV_NN"
+        assert report.headline["cv_mean"] < 0.10

@@ -1,0 +1,200 @@
+"""Direct CTA-context tests: exact poll-boundary arithmetic and
+preemption re-planning, plus property tests for task conservation under
+random preemption times."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cta import CTAState
+from repro.gpu.device import small_test_gpu
+from repro.gpu.gpu import SimulatedGPU
+from repro.gpu.grid import GridState
+from repro.gpu.kernel import LaunchConfig, TaskPool
+from repro.gpu.sim import Simulator
+
+LAUNCH = 50.0
+POLL = 1.0
+PULL = 0.02
+
+
+def one_cta_gpu():
+    """A 1-SM, 1-slot device: a single CTA context, so poll boundaries
+    are exactly computable."""
+    return small_test_gpu(num_sms=1, max_ctas_per_sm=1)
+
+
+def run_single_cta(make_kernel, tasks, L, task_us, preempt_at=None,
+                   clear_at=None):
+    sim = Simulator()
+    gpu = SimulatedGPU(sim, one_cta_gpu())
+    k = make_kernel(mode="persistent", task_us=task_us, amortize_l=L)
+    flag = gpu.new_flag()
+    pool = TaskPool(tasks)
+    grid = gpu.launch(k, LaunchConfig.persistent(tasks, 1), pool=pool,
+                      flag=flag)
+    if preempt_at is not None:
+        sim.schedule(preempt_at, lambda: flag.host_write(1))
+    if clear_at is not None:
+        sim.schedule(clear_at, lambda: flag.host_write(0))
+    sim.run()
+    return sim, grid, pool
+
+
+class TestExactTiming:
+    def test_solo_duration_formula(self, make_kernel):
+        """One CTA, 10 tasks, L=5: duration = 2 polls + 10*(t+pull)
+        (+ trailing poll-and-exit when the pool drains)."""
+        sim, grid, pool = run_single_cta(make_kernel, tasks=10, L=5,
+                                         task_us=10.0)
+        assert pool.complete
+        work = 2 * POLL + 10 * (10.0 + PULL)
+        # completion can include one extra boundary poll before exit
+        assert sim.now == pytest.approx(LAUNCH + work, abs=2 * POLL)
+
+    def test_yield_lands_on_poll_boundary(self, make_kernel):
+        """Preempt mid-group: the CTA finishes its current group of L
+        tasks before yielding."""
+        L, t = 4, 10.0
+        group = POLL + L * (t + PULL)
+        # request falls in the middle of the second group
+        preempt_at = LAUNCH + group + 2 * t
+        sim, grid, pool = run_single_cta(
+            make_kernel, tasks=100, L=L, task_us=t, preempt_at=preempt_at
+        )
+        assert grid.state is GridState.PREEMPTED
+        # exactly 2 groups (8 tasks) were completed
+        assert pool.done == 2 * L
+        expected_yield = LAUNCH + 2 * group + POLL  # boundary + poll read
+        assert sim.now == pytest.approx(expected_yield, abs=1e-6)
+
+    def test_preempt_exactly_at_boundary(self, make_kernel):
+        L, t = 2, 5.0
+        group = POLL + L * (t + PULL)
+        # visible exactly at the start of group 3 (signal latency 1us:
+        # write 1us earlier)
+        preempt_at = LAUNCH + 2 * group - 1.0
+        sim, grid, pool = run_single_cta(
+            make_kernel, tasks=1000, L=L, task_us=t, preempt_at=preempt_at
+        )
+        assert pool.done == 2 * L
+        assert grid.state is GridState.PREEMPTED
+
+    def test_flag_clear_before_boundary_keeps_running(self, make_kernel):
+        L, t = 10, 5.0
+        group = POLL + L * (t + PULL)
+        sim, grid, pool = run_single_cta(
+            make_kernel, tasks=50, L=L, task_us=t,
+            preempt_at=LAUNCH + group + 1.0,     # inside group 2
+            clear_at=LAUNCH + group + 10.0,      # cleared before boundary
+        )
+        assert grid.state is GridState.COMPLETE
+        assert pool.complete
+
+    def test_flag_set_clear_set_yields_at_later_boundary(self, make_kernel):
+        L, t = 5, 10.0
+        group = POLL + L * (t + PULL)
+        sim, grid, pool = run_single_cta(
+            make_kernel, tasks=1000, L=L, task_us=t,
+            preempt_at=LAUNCH + 0.5 * group,
+        )
+        assert pool.done == L  # yielded at the first boundary after set
+
+
+class TestConservationProperties:
+    @given(
+        tasks=st.integers(1, 500),
+        L=st.sampled_from([1, 2, 5, 10, 50]),
+        preempt_frac=st.floats(0.0, 1.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tasks_conserved_under_random_preemption(
+        self, tasks, L, preempt_frac
+    ):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        from repro.gpu.kernel import KernelImage, ResourceUsage, TaskModel
+
+        k = KernelImage(
+            "prop", ResourceUsage(256, 16, 0), TaskModel(3.0)
+        ).transformed(L)
+        flag = gpu.new_flag()
+        pool = TaskPool(tasks)
+        grid = gpu.launch(
+            k, LaunchConfig.persistent(tasks, 4), pool=pool, flag=flag
+        )
+        solo_estimate = LAUNCH + tasks * 3.2
+        sim.schedule(
+            max(1.0, preempt_frac * solo_estimate),
+            lambda: flag.host_write(99),
+        )
+        sim.run()
+        # invariant: nothing lost, nothing in flight
+        assert pool.outstanding == 0
+        assert pool.done + pool.remaining == tasks
+        assert grid.is_terminal
+        if grid.state is GridState.PREEMPTED:
+            assert pool.remaining > 0
+        else:
+            assert pool.complete
+
+    @given(
+        tasks=st.integers(1, 300),
+        L=st.sampled_from([1, 3, 7]),
+        p1=st.floats(10.0, 2000.0),
+        gap=st.floats(1.0, 500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_preempt_resume_preempt_conserves(self, tasks, L, p1, gap):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        from repro.gpu.kernel import KernelImage, ResourceUsage, TaskModel
+
+        k = KernelImage(
+            "prop2", ResourceUsage(256, 16, 0), TaskModel(5.0)
+        ).transformed(L)
+        flag = gpu.new_flag()
+        pool = TaskPool(tasks)
+        gpu.launch(k, LaunchConfig.persistent(tasks, 4), pool=pool, flag=flag)
+        sim.schedule(p1, lambda: flag.host_write(99))
+        sim.run()
+        if not pool.complete:
+            flag.clear()
+            gpu.launch(
+                k, LaunchConfig.persistent(max(1, pool.remaining), 4),
+                pool=pool, flag=flag,
+            )
+            sim.schedule(gap, lambda: flag.host_write(99))
+            sim.run()
+        assert pool.outstanding == 0
+        assert pool.done + pool.remaining == tasks
+
+
+class TestContextState:
+    def test_context_start_twice_rejected(self, sim, make_kernel):
+        from repro.errors import SchedulingError
+
+        gpu = SimulatedGPU(sim, one_cta_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0)
+        grid = gpu.launch(
+            k, LaunchConfig.persistent(10, 1), pool=TaskPool(10),
+            flag=gpu.new_flag(),
+        )
+        sim.run(until=LAUNCH + 1.0)
+        ctx = next(iter(grid.contexts))
+        with pytest.raises(SchedulingError):
+            ctx.start()
+
+    def test_context_records_tasks_done(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, one_cta_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=5)
+        grid = gpu.launch(
+            k, LaunchConfig.persistent(20, 1), pool=TaskPool(20),
+            flag=gpu.new_flag(),
+        )
+        sim.run(until=LAUNCH + 1.0)
+        ctx = next(iter(grid.contexts))
+        sim.run()
+        assert ctx.state is CTAState.FINISHED
+        assert ctx.tasks_done == 20
+        assert ctx.ended_at is not None

@@ -1,0 +1,61 @@
+"""Device spec and cost-model tests."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gpu.device import CostModel, GPUDeviceSpec, small_test_gpu, tesla_k40
+
+
+class TestK40Spec:
+    def test_paper_testbed_values(self):
+        k40 = tesla_k40()
+        assert k40.num_sms == 15
+        assert k40.compute_capability == (3, 5)
+        assert k40.max_threads_per_sm == 2048
+        assert k40.device_memory_bytes == 12 * 1024**3
+        assert k40.total_cta_slots == 15 * 16
+
+    def test_with_costs_overrides(self):
+        k40 = tesla_k40(pinned_poll_us=0.1)
+        assert k40.costs.pinned_poll_us == 0.1
+        assert k40.costs.kernel_launch_us == CostModel().kernel_launch_us
+
+    def test_with_sms(self):
+        small = tesla_k40().with_sms(4)
+        assert small.num_sms == 4
+        with pytest.raises(ResourceError):
+            tesla_k40().with_sms(0)
+
+    def test_spec_is_immutable(self):
+        k40 = tesla_k40()
+        with pytest.raises(AttributeError):
+            k40.num_sms = 3
+
+    def test_small_test_gpu_dimensions(self):
+        tiny = small_test_gpu(num_sms=2, max_ctas_per_sm=2)
+        assert tiny.total_cta_slots == 4
+
+
+class TestCostModel:
+    def test_transfer_monotone_in_size(self):
+        c = CostModel()
+        sizes = [0, 1, 10**3, 10**6, 10**9]
+        times = [c.transfer_time_us(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_transfer_has_latency_floor(self):
+        c = CostModel()
+        assert c.transfer_time_us(1) >= c.pcie_latency_us
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ResourceError):
+            CostModel().transfer_time_us(-1)
+
+    def test_calibrated_constants(self):
+        """The DESIGN.md calibration anchors (changing these invalidates
+        Table 1)."""
+        c = CostModel()
+        assert c.kernel_launch_us == 50.0
+        assert c.pinned_poll_us == 1.0
+        assert c.task_pull_us == 0.02
+        assert c.slice_gap_us == 4.0

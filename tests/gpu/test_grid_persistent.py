@@ -1,0 +1,217 @@
+"""Persistent-thread (FLEP-transformed) execution and preemption
+semantics: temporal/spatial yields, poll-boundary timing, flag clears,
+resume with a shared pool."""
+
+import pytest
+
+from repro.gpu.device import small_test_gpu, tesla_k40
+from repro.gpu.gpu import SimulatedGPU
+from repro.gpu.grid import GridState
+from repro.gpu.kernel import LaunchConfig, TaskPool
+from repro.gpu.sim import Simulator
+
+LAUNCH = 50.0
+
+
+def launch_persistent(gpu, kernel, tasks, ctas, pool=None, flag=None, **kw):
+    pool = pool if pool is not None else TaskPool(tasks)
+    flag = flag if flag is not None else gpu.new_flag()
+    grid = gpu.launch(
+        kernel, LaunchConfig.persistent(tasks, ctas), pool=pool, flag=flag, **kw
+    )
+    return grid, pool, flag
+
+
+class TestSoloPersistent:
+    def test_completes_all_tasks(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=2)
+        grid, pool, _ = launch_persistent(gpu, k, 40, 4)
+        sim.run()
+        assert pool.complete
+        assert grid.state is GridState.COMPLETE
+
+    def test_overhead_scales_with_amortizing_factor(self, make_kernel):
+        """Larger L amortizes the poll cost (§4.1)."""
+        times = {}
+        for L in (1, 10):
+            sim = Simulator()
+            gpu = SimulatedGPU(sim, small_test_gpu())
+            k = make_kernel(mode="persistent", task_us=5.0, amortize_l=L)
+            grid, pool, _ = launch_persistent(gpu, k, 400, 4)
+            sim.run()
+            times[L] = sim.now
+        assert times[10] < times[1]
+
+    def test_matches_original_plus_overhead(self, make_kernel):
+        sim_o = Simulator()
+        gpu_o = SimulatedGPU(sim_o, small_test_gpu())
+        orig = make_kernel(task_us=10.0)
+        gpu_o.launch(orig, LaunchConfig.original(100))
+        sim_o.run()
+
+        sim_p = Simulator()
+        gpu_p = SimulatedGPU(sim_p, small_test_gpu())
+        pers = make_kernel(mode="persistent", task_us=10.0, amortize_l=10)
+        launch_persistent(gpu_p, pers, 100, 4)
+        sim_p.run()
+
+        overhead = (sim_p.now - sim_o.now) / sim_o.now
+        assert 0.0 <= overhead < 0.05
+
+
+class TestTemporalPreemption:
+    def test_preempted_at_poll_boundary(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=2)
+        grid, pool, flag = launch_persistent(gpu, k, 1000, 4)
+        sim.schedule(200.0, lambda: flag.host_write(2))  # temporal on 2 SMs
+        sim.run()
+        assert grid.state is GridState.PREEMPTED
+        assert pool.outstanding == 0
+        assert 0 < pool.done < 1000
+        # drain latency bounded by one poll group (~2 tasks) + slack
+        assert grid.preemption_latency_us <= 2 * 10.0 + 5.0
+
+    def test_task_conservation_across_preemption(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=7.0, amortize_l=3)
+        grid, pool, flag = launch_persistent(gpu, k, 500, 4)
+        sim.schedule(137.0, lambda: flag.host_write(2))
+        sim.run()
+        assert pool.done + pool.remaining == 500
+        assert pool.outstanding == 0
+
+    def test_resume_finishes_remaining_only(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=2)
+        grid, pool, flag = launch_persistent(gpu, k, 200, 4)
+        sim.schedule(300.0, lambda: flag.host_write(2))
+        sim.run()
+        done_before = pool.done
+        flag.clear()
+        grid2, _, _ = launch_persistent(
+            gpu, k, pool.remaining, 4, pool=pool, flag=flag
+        )
+        sim.run()
+        assert pool.complete
+        assert grid2.state is GridState.COMPLETE
+        assert pool.done == 200
+        assert done_before < 200
+
+    def test_flag_cleared_before_poll_cancels_yield(self, sim, make_kernel):
+        """A set-then-clear faster than the poll interval is never
+        observed: the kernel runs to completion."""
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        # L=50 at 10us/task: polls every ~500us
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=50)
+        grid, pool, flag = launch_persistent(gpu, k, 400, 4)
+        sim.schedule(60.0, lambda: flag.host_write(2))
+        sim.schedule(70.0, lambda: flag.host_write(0))
+        sim.run()
+        assert grid.state is GridState.COMPLETE
+        assert pool.complete
+
+    def test_preempt_before_enqueue_aborts_instantly(self, sim, make_kernel):
+        """Flag set while the launch command is in flight: the grid goes
+        PREEMPTED without hosting any CTA (and stops blocking the
+        FIFO)."""
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1)
+        grid, pool, flag = launch_persistent(gpu, k, 100, 4)
+        sim.schedule(5.0, lambda: flag.host_write(2))  # before LAUNCH=50
+        sim.run()
+        assert grid.state is GridState.PREEMPTED
+        assert pool.done == 0
+        assert pool.remaining == 100
+
+    def test_preempt_frees_sms_for_waiting_grid(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        victim = make_kernel(name="victim", mode="persistent",
+                             task_us=10.0, amortize_l=1)
+        grid, pool, flag = launch_persistent(gpu, victim, 10_000, 4)
+        done = {}
+        other = make_kernel(name="other", task_us=10.0)
+        sim.schedule(200.0, lambda: flag.host_write(2))
+        sim.schedule(
+            200.0,
+            lambda: gpu.launch(
+                other, LaunchConfig.original(4),
+                on_complete=lambda g: done.setdefault("other", sim.now),
+            ),
+        )
+        sim.run(until=5_000.0)
+        # other ran shortly after the drain, far before victim would end
+        assert done["other"] < 350.0
+
+
+class TestSpatialPreemption:
+    def test_only_low_sms_yield(self, make_kernel):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, small_test_gpu(num_sms=4, max_ctas_per_sm=2))
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1,
+                        spatial=True)
+        grid, pool, flag = launch_persistent(gpu, k, 10_000, 8)
+        sim.schedule(100.0, lambda: flag.host_write(2))  # yield SMs 0,1
+        sim.run(until=200.0)
+        assert grid.state is GridState.RUNNING
+        yielded_sms = {0, 1}
+        for ctx in grid.contexts:
+            assert ctx.sm.sm_id not in yielded_sms
+        assert len(grid.contexts) == 4  # 2 SMs x 2 slots remain
+        sim.run()
+        assert pool.complete  # the paper: remaining CTAs finish the pool
+
+    def test_spatial_slower_than_full_width(self, make_kernel):
+        """Losing SMs stretches the victim's completion."""
+        times = {}
+        for yield_sms in (0, 2):
+            sim = Simulator()
+            gpu = SimulatedGPU(
+                sim, small_test_gpu(num_sms=4, max_ctas_per_sm=2)
+            )
+            k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1,
+                            spatial=True)
+            grid, pool, flag = launch_persistent(gpu, k, 2000, 8)
+            if yield_sms:
+                sim.schedule(100.0, lambda f=flag, y=yield_sms: f.host_write(y))
+            sim.run()
+            times[yield_sms] = sim.now
+        assert times[2] > times[0]
+
+    def test_spatial_value_at_num_sms_is_temporal(self, make_kernel):
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, small_test_gpu(num_sms=4, max_ctas_per_sm=2))
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1,
+                        spatial=True)
+        grid, pool, flag = launch_persistent(gpu, k, 10_000, 8)
+        sim.schedule(100.0, lambda: flag.host_write(4))
+        sim.run()
+        assert grid.state is GridState.PREEMPTED
+
+    def test_temporal_only_kernel_ignores_smid(self, make_kernel):
+        """A kernel compiled without spatial support quits on any
+        non-zero flag value (Figure 4 a/b)."""
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, small_test_gpu(num_sms=4, max_ctas_per_sm=2))
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1,
+                        spatial=False)
+        grid, pool, flag = launch_persistent(gpu, k, 10_000, 8)
+        sim.schedule(100.0, lambda: flag.host_write(1))
+        sim.run()
+        assert grid.state is GridState.PREEMPTED
+
+
+class TestSharedPoolSiblings:
+    def test_topup_grid_shares_pool(self, sim, make_kernel):
+        gpu = SimulatedGPU(sim, small_test_gpu())
+        k = make_kernel(mode="persistent", task_us=10.0, amortize_l=1)
+        pool = TaskPool(400)
+        flag = gpu.new_flag()
+        g1, _, _ = launch_persistent(gpu, k, 400, 2, pool=pool, flag=flag)
+        g2, _, _ = launch_persistent(gpu, k, 400, 2, pool=pool, flag=flag)
+        sim.run()
+        assert pool.complete
+        assert g1.state is GridState.COMPLETE
+        assert g2.state is GridState.COMPLETE
+        assert g1.pool is g2.pool

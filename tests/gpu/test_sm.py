@@ -1,0 +1,64 @@
+"""SM resource-accounting tests."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gpu.device import tesla_k40
+from repro.gpu.kernel import ResourceUsage
+from repro.gpu.sm import SM
+
+
+@pytest.fixture
+def sm():
+    return SM(3, tesla_k40())
+
+
+USAGE = ResourceUsage(256, 16, 1024)
+
+
+class TestAdmission:
+    def test_admit_charges_resources(self, sm):
+        ctx = object()
+        sm.admit(ctx, USAGE)
+        assert sm.used_threads == 256
+        assert sm.used_warps == 8
+        assert not sm.idle
+        assert sm.free_cta_slots() == 15
+
+    def test_release_returns_resources(self, sm):
+        ctx = object()
+        sm.admit(ctx, USAGE)
+        sm.release(ctx, USAGE)
+        assert sm.idle
+        assert sm.used_threads == 0
+        assert sm.used_regs == 0
+        assert sm.used_smem == 0
+
+    def test_can_host_respects_thread_limit(self, sm):
+        for i in range(8):  # 8 * 256 = 2048 threads: full
+            sm.admit(object(), USAGE)
+        assert not sm.can_host(USAGE)
+
+    def test_admit_when_full_raises(self, sm):
+        for i in range(8):
+            sm.admit(object(), USAGE)
+        with pytest.raises(ResourceError):
+            sm.admit(object(), USAGE)
+
+    def test_double_admit_rejected(self, sm):
+        ctx = object()
+        sm.admit(ctx, USAGE)
+        with pytest.raises(ResourceError):
+            sm.admit(ctx, USAGE)
+
+    def test_release_unknown_rejected(self, sm):
+        with pytest.raises(ResourceError):
+            sm.release(object(), USAGE)
+
+    def test_mixed_footprints_coexist(self, sm):
+        big = ResourceUsage(1024, 32, 8192)
+        small = ResourceUsage(128, 8, 0)
+        sm.admit(object(), big)
+        assert sm.can_host(small)
+        sm.admit(object(), small)
+        assert sm.used_threads == 1024 + 128

@@ -1,0 +1,42 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table1" in out
+
+    def test_run_fig7(self, capsys):
+        assert main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction errors" in out
+        assert "[paper:" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_compile_benchmark(self, capsys):
+        assert main(["compile", "VA"]) == 0
+        captured = capsys.readouterr()
+        assert "va_kernel__flep_spatial" in captured.out
+        assert "flep_invoke_va_kernel" in captured.out
+        assert "CTAs/SM" in captured.err
+
+    def test_compile_ptx(self, capsys):
+        assert main(["compile", "MM", "--ptx"]) == 0
+        assert ".visible .entry mm_kernel" in capsys.readouterr().out
+
+    def test_tune_single(self, capsys):
+        assert main(["tune", "CFD"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen L = 1" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

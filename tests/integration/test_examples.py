@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion and produces
+its key output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "speedup for the interactive query" in out
+        speedup = float(out.split("query: ")[1].split("x")[0])
+        assert speedup > 10
+
+    def test_fair_sharing(self, capsys):
+        out = run_example("fair_sharing.py", capsys)
+        assert "premium" in out and "standard" in out
+        assert "GPU share" in out
+
+    def test_cloud_inference(self, capsys):
+        out = run_example("cloud_inference.py", capsys)
+        assert "plain MPS" in out
+        assert "FLEP spatial" in out
+
+    def test_spatial_preemption(self, capsys):
+        out = run_example("spatial_preemption.py", capsys)
+        assert "SMs yielded" in out
+        assert "reduction" in out
+
+    def test_compiler_demo(self, capsys):
+        out = run_example("compiler_demo.py", capsys)
+        assert "Figure 4 (c)" in out
+        assert "chosen L = 200" in out

@@ -1,0 +1,131 @@
+"""Failure injection and edge-case robustness tests."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.core.policies.base import SchedulingPolicy
+from repro.errors import RuntimeEngineError
+from repro.gpu.gpu import SimulatedGPU
+from repro.gpu.sim import Simulator
+from repro.runtime.engine import FlepRuntime, RuntimeConfig
+
+
+class TestMispredictions:
+    def test_scheduling_survives_bad_predictions(self, suite):
+        """The ridge models mispredict (Figure 7); HPF must still
+        complete everything and roughly prefer shorter kernels."""
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=False),  # real (noisy) models
+        )
+        system.submit_at(0.0, "long", "VA", "large")
+        for i, k in enumerate(("SPMV", "MM", "PL", "MD")):
+            system.submit_at(50.0 + i * 10, f"w{i}", k, "small")
+        result = system.run()
+        assert result.all_finished
+
+    def test_oracle_vs_ridge_turnaround_gap_is_small(self, harness):
+        """Prediction noise costs little on the paper's workloads: the
+        shortest kernel still gets picked (ablation for §6.2's claim
+        that the simple model suffices)."""
+        from repro.experiments.harness import Scenario
+
+        sc = Scenario.pair(low="NN", high="SPMV", low_priority=0,
+                           high_priority=0)
+        ridge = harness.run_flep(
+            sc, config=RuntimeConfig(oracle_model=False))
+        oracle = harness.run_flep(
+            sc, config=RuntimeConfig(oracle_model=True))
+        key = ("proc_SPMV", "SPMV", "small")
+        assert ridge.turnaround_us[key] == pytest.approx(
+            oracle.turnaround_us[key], rel=0.10
+        )
+
+
+class TestEdgeCases:
+    def test_single_task_kernel(self, suite):
+        system = FlepSystem(policy="hpf", device=suite.device, suite=suite)
+        kspec = suite["VA"]
+        inp = kspec.make_input("one", kspec.work_per_task)
+        assert inp.tasks == 1
+        system.sim.schedule_at(
+            0.0, lambda: system.runtime.submit("p", "VA", inp=inp)
+        )
+        result = system.run()
+        assert result.all_finished
+
+    def test_preempt_during_drain_is_idempotent(self, suite):
+        """Writing the flag twice while the victim drains must not
+        corrupt the pool."""
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, suite.device)
+
+        class Noop(SchedulingPolicy):
+            name = "noop"
+
+            def on_kernel_arrival(self, inv):
+                pass
+
+            def on_kernel_finished(self, inv):
+                pass
+
+        rt = FlepRuntime(sim, gpu, suite, Noop(),
+                         RuntimeConfig(oracle_model=True))
+        inv = rt.submit("p", "NN", "large")
+        rt.schedule_to_gpu(inv)
+        sim.run(until=500.0)
+        rt.preempt(inv)
+        # second write while draining (host double-signals)
+        inv.flag.host_write(suite.device.num_sms)
+        sim.run(until=2_000.0)
+        assert inv.pool.outstanding == 0
+        assert inv.pool.done + inv.pool.remaining == inv.pool.total
+
+    def test_burst_of_simultaneous_arrivals(self, suite):
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        for i in range(12):
+            system.submit_at(0.0, f"p{i}", "SPMV", "trivial", priority=0)
+        result = system.run()
+        assert result.all_finished
+
+    def test_interleaved_policies_do_not_share_state(self, suite):
+        """Two FlepSystems built back-to-back are fully independent."""
+        r1 = FlepSystem(policy="hpf", device=suite.device, suite=suite)
+        r1.submit_at(0.0, "p", "MM", "small")
+        out1 = r1.run()
+        r2 = FlepSystem(policy="hpf", device=suite.device, suite=suite)
+        r2.submit_at(0.0, "p", "MM", "small")
+        out2 = r2.run()
+        assert (
+            out1.invocations[0].record.finished_at
+            == out2.invocations[0].record.finished_at
+        )
+
+    def test_run_until_then_continue(self, suite):
+        system = FlepSystem(policy="hpf", device=suite.device, suite=suite)
+        system.submit_at(0.0, "p", "NN", "large")
+        mid = system.run(until=1_000.0)
+        assert not mid.all_finished
+        final = system.run()
+        assert final.all_finished
+
+
+class TestDeterminism:
+    def test_full_corun_repeatable(self, suite):
+        def once():
+            system = FlepSystem(
+                policy="hpf", device=suite.device, suite=suite,
+                config=RuntimeConfig(oracle_model=True),
+            )
+            system.submit_at(0.0, "a", "NN", "large", priority=0)
+            system.submit_at(10.0, "b", "SPMV", "small", priority=1)
+            system.submit_at(20.0, "c", "MM", "small", priority=0)
+            result = system.run()
+            return tuple(
+                (i.process, i.record.finished_at) for i in result.invocations
+            )
+
+        assert once() == once()

@@ -1,0 +1,144 @@
+"""End-to-end checks of the paper's headline claims on representative
+co-runs (the full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.experiments.harness import CoRunHarness, Scenario
+from repro.runtime.engine import RuntimeConfig
+
+
+class TestHeadlines:
+    def test_priority_inversion_eliminated(self, harness):
+        """§1: 'up to 24.2X speedup for high-priority kernels'. Our
+        SPMV_NN pair lands in the same band."""
+        sc = Scenario.pair(low="NN", high="SPMV")
+        mps = harness.run_mps(sc)
+        flep = harness.run_flep(sc)
+        key = ("proc_SPMV", "SPMV", "small")
+        speedup = mps.turnaround_us[key] / flep.turnaround_us[key]
+        assert 20 < speedup < 40
+
+    def test_antt_improvement_band(self, harness):
+        """§1: 'up to 27X improvement on normalized average turnaround
+        time for kernels with the same priority'."""
+        sc = Scenario.pair(
+            low="NN", high="SPMV", low_priority=0, high_priority=0
+        )
+        mps = harness.run_mps(sc)
+        flep = harness.run_flep(sc)
+        improvement = mps.antt(sc) / flep.antt(sc)
+        assert improvement > 10
+
+    def test_transform_overhead_band(self, harness):
+        """§1: 'FLEP only introduces 2.5% runtime overhead'."""
+        from repro.experiments.fig17 import flep_solo_exec_us
+
+        overheads = []
+        for bench in ("CFD", "NN", "MD", "SPMV", "MM", "VA"):
+            orig = harness.solo_us(bench, "large")
+            flep = flep_solo_exec_us(bench, "large", harness.device,
+                                     harness.suite)
+            overheads.append((flep - orig) / orig)
+        mean = sum(overheads) / len(overheads)
+        assert 0.01 < mean < 0.045
+        assert all(o < 0.05 for o in overheads)
+
+    def test_spatial_reduces_preemption_overhead(self, harness):
+        """§1: spatial preemption 'reduces the preemption latency by up
+        to 41%' when waiting kernels need only a few SMs."""
+        sc = Scenario.pair(low="MM", high="NN", high_input="trivial")
+        t_org = harness.run_mps(sc).makespan_us
+        temporal = harness.run_flep(
+            sc, config=RuntimeConfig(spatial_enabled=False)
+        ).makespan_us
+        spatial = harness.run_flep(
+            sc, config=RuntimeConfig(spatial_enabled=True)
+        ).makespan_us
+        assert t_org < spatial < temporal
+
+    def test_figure2_scenario_on_tiny_gpu(self, tiny_gpu_spec, make_kernel):
+        """Figure 2's illustration: K1 preempted, K2's four CTAs occupy
+        the 2x2 GPU, then K1 resumes."""
+        from repro.gpu.gpu import SimulatedGPU
+        from repro.gpu.kernel import LaunchConfig, TaskPool
+        from repro.gpu.sim import Simulator
+
+        sim = Simulator()
+        gpu = SimulatedGPU(sim, tiny_gpu_spec)
+        k1 = make_kernel(name="K1", mode="persistent", task_us=10.0,
+                         amortize_l=1)
+        flag = gpu.new_flag()
+        pool = TaskPool(100)
+        g1 = gpu.launch(k1, LaunchConfig.persistent(100, 4), pool=pool,
+                        flag=flag)
+        k2_done = []
+        k2 = make_kernel(name="K2", task_us=10.0)
+        sim.schedule(100.0, lambda: flag.host_write(2))
+        sim.schedule(100.0, lambda: gpu.launch(
+            k2, LaunchConfig.original(4),
+            on_complete=lambda g: k2_done.append(sim.now)))
+        sim.run(until=200.0)
+        assert k2_done and k2_done[0] < 200.0
+        # resume K1
+        flag.clear()
+        done = []
+        gpu.launch(k1, LaunchConfig.persistent(pool.remaining, 4),
+                   pool=pool, flag=flag,
+                   on_complete=lambda g: done.append(sim.now))
+        sim.run()
+        assert pool.complete
+
+
+class TestScale:
+    def test_poisson_query_stream_with_batch_job(self, suite):
+        """§2.2's cloud scenario: short queries keep preempting a batch
+        kernel; everything completes and queries stay responsive."""
+        from repro.workloads.synthetic import poisson_trace
+
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        system.submit_at(0.0, "batch", "VA", "large", priority=0)
+        trace = poisson_trace(
+            ["SPMV", "MM"], rate_per_ms=0.15, duration_ms=25.0, seed=11
+        )
+        for i, a in enumerate(trace.sorted()):
+            system.submit_at(a.at_us, f"query{i}", a.kernel_name, "trivial",
+                             priority=1)
+        result = system.run()
+        assert result.all_finished
+        queries = [
+            i for i in result.invocations if i.process.startswith("query")
+        ]
+        assert queries
+        mean_turnaround = sum(
+            q.record.turnaround_us for q in queries
+        ) / len(queries)
+        assert mean_turnaround < 2_000.0  # responsive despite the batch job
+
+    def test_many_priorities_drain_in_order(self, suite):
+        """Full-GPU (small-input) kernels at five priorities: strict
+        highest-first completion. (Trivial inputs would instead co-run
+        spatially, which deliberately relaxes the ordering.)"""
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        system.submit_at(0.0, "base", "NN", "large", priority=0)
+        for p in range(1, 6):
+            system.submit_at(100.0 + p, f"p{p}", "SPMV", "small",
+                             priority=p)
+        result = system.run()
+        assert result.all_finished
+        finishes = [
+            result.by_process(f"p{p}")[0].record.finished_at
+            for p in range(1, 6)
+        ]
+        # higher priorities finish earlier
+        assert finishes == sorted(finishes, reverse=True)
+        base = result.by_process("base")[0]
+        assert base.record.finished_at == max(
+            i.record.finished_at for i in result.invocations
+        )

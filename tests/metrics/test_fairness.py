@@ -1,0 +1,80 @@
+"""Fairness-index tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics.fairness import (
+    jain_index,
+    max_share_error,
+    weighted_jain_index,
+    weighted_targets,
+)
+
+
+class TestJain:
+    def test_perfect_equality(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_total_capture(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            jain_index([])
+        with pytest.raises(ExperimentError):
+            jain_index([0.0, 0.0])
+        with pytest.raises(ExperimentError):
+            jain_index([-1.0, 2.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, allocations):
+        idx = jain_index(allocations)
+        assert 1.0 / len(allocations) - 1e-9 <= idx <= 1.0 + 1e-9
+
+
+class TestWeighted:
+    def test_weighted_targets(self):
+        targets = weighted_targets({"a": 2.0, "b": 1.0})
+        assert targets == {"a": pytest.approx(2 / 3),
+                           "b": pytest.approx(1 / 3)}
+
+    def test_weighted_perfect(self):
+        shares = {"a": 2 / 3, "b": 1 / 3}
+        weights = {"a": 2.0, "b": 1.0}
+        assert weighted_jain_index(shares, weights) == pytest.approx(1.0)
+        assert max_share_error(shares, weights) == pytest.approx(0.0)
+
+    def test_weighted_imbalance_detected(self):
+        shares = {"a": 0.5, "b": 0.5}
+        weights = {"a": 2.0, "b": 1.0}
+        assert weighted_jain_index(shares, weights) < 1.0
+        assert max_share_error(shares, weights) == pytest.approx(1 / 6)
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            weighted_jain_index({"a": 1.0}, {"b": 1.0})
+        with pytest.raises(ExperimentError):
+            max_share_error({"a": 1.0}, {"b": 1.0})
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ExperimentError):
+            weighted_jain_index({"a": 1.0}, {"a": 0.0})
+        with pytest.raises(ExperimentError):
+            weighted_targets({"a": -1.0, "b": 1.0})
+
+
+class TestOnFFSResults:
+    def test_ffs_shares_are_weight_fair(self, suite):
+        """End-to-end: FFS's measured shares score near-1 weighted
+        fairness."""
+        from repro.experiments.fig13 import ffs_pair_shares
+        from repro.experiments.pairs import CoRunPair
+
+        shares = ffs_pair_shares(CoRunPair("SPMV", "NN"), suite=suite)
+        achieved = {"high": shares["high_share"], "low": shares["low_share"]}
+        weights = {"high": 2.0, "low": 1.0}
+        assert weighted_jain_index(achieved, weights) > 0.995
+        assert max_share_error(achieved, weights) < 0.05

@@ -1,0 +1,103 @@
+"""ANTT / STP / share metric tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics.multiprogram import (
+    ShareSample,
+    antt,
+    antt_improvement,
+    gpu_shares,
+    mean_share,
+    ntt,
+    slowdown,
+    stp,
+    stp_degradation,
+    throughput_degradation,
+)
+
+
+class TestDefinitions:
+    def test_ntt_basics(self):
+        assert ntt(200.0, 100.0) == 2.0
+        assert slowdown(300.0, 100.0) == 3.0
+
+    def test_antt_is_mean_of_ntts(self):
+        assert antt([200.0, 100.0], [100.0, 100.0]) == pytest.approx(1.5)
+
+    def test_stp_accumulates_progress(self):
+        # both at full speed: STP == n
+        assert stp([100.0, 50.0], [100.0, 50.0]) == pytest.approx(2.0)
+        # one at half speed
+        assert stp([200.0, 50.0], [100.0, 50.0]) == pytest.approx(1.5)
+
+    def test_improvement_ratio(self):
+        alone = [100.0, 100.0]
+        base = [1000.0, 100.0]   # baseline ANTT = 5.5
+        ours = [110.0, 110.0]    # ANTT = 1.1
+        assert antt_improvement(base, ours, alone) == pytest.approx(5.0)
+
+    def test_stp_degradation_sign(self):
+        alone = [100.0, 100.0]
+        base = [100.0, 200.0]
+        worse = [110.0, 220.0]
+        assert stp_degradation(base, worse, alone) > 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            antt([], [])
+        with pytest.raises(ExperimentError):
+            antt([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            ntt(0.0, 1.0)
+
+    @given(
+        alone=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=10),
+        factors=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_antt_and_stp_bounds(self, alone, factors):
+        n = min(len(alone), len(factors))
+        alone = alone[:n]
+        shared = [a * f for a, f in zip(alone, factors[:n])]
+        a = antt(shared, alone)
+        s = stp(shared, alone)
+        assert a >= 1.0 - 1e-9       # shared >= alone here
+        assert 0.0 < s <= n + 1e-9
+
+
+class TestShares:
+    def test_gpu_shares_windows(self):
+        segments = {
+            "a": [(0.0, 50.0), (100.0, 150.0)],
+            "b": [(50.0, 100.0)],
+        }
+        samples = gpu_shares(segments, window_us=50.0, horizon_us=150.0)
+        assert len(samples) == 3
+        assert samples[0].shares == {"a": 1.0, "b": 0.0}
+        assert samples[1].shares == {"a": 0.0, "b": 1.0}
+        assert mean_share(samples, "a") == pytest.approx(2 / 3)
+
+    def test_partial_overlap(self):
+        samples = gpu_shares({"x": [(25.0, 75.0)]}, 50.0, 100.0)
+        assert samples[0].shares["x"] == pytest.approx(0.5)
+        assert samples[1].shares["x"] == pytest.approx(0.5)
+
+    def test_ragged_final_window(self):
+        samples = gpu_shares({"x": [(0.0, 130.0)]}, 50.0, 130.0)
+        assert len(samples) == 3
+        assert samples[2].t_end_us == 130.0
+        assert samples[2].shares["x"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            gpu_shares({}, 0.0, 100.0)
+        with pytest.raises(ExperimentError):
+            mean_share([], "x")
+
+    def test_throughput_degradation(self):
+        assert throughput_degradation(90.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(ExperimentError):
+            throughput_degradation(1.0, 0.0)

@@ -1,0 +1,96 @@
+"""Ridge-regression duration-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.runtime.models import (
+    ModelBank,
+    OracleModelBank,
+    RidgeModel,
+    evaluate_model,
+    train_kernel_model,
+)
+from repro.workloads.inputs import true_duration_us
+
+
+class TestRidgeModel:
+    def test_fits_exact_linear_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 100, size=(50, 3))
+        w_true = np.array([2.0, 1.0, 0.5])  # positive targets (durations)
+        y = X @ w_true + 7.0
+        model = RidgeModel.fit(X, y, alpha=1e-8)
+        for i in range(10):
+            pred = model.predict(X[i])
+            assert pred == pytest.approx(y[i], rel=1e-4)
+
+    def test_penalty_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, size=(30, 2))
+        y = X @ np.array([5.0, 3.0]) + rng.normal(0, 0.1, 30)
+        loose = RidgeModel.fit(X, y, alpha=1e-6)
+        tight = RidgeModel.fit(X, y, alpha=1e4)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.arange(20.0), np.full(20, 7.0)])
+        y = 3.0 * np.arange(20.0) + 1.0
+        model = RidgeModel.fit(X, y, alpha=1e-8)
+        assert model.predict([10.0, 7.0]) == pytest.approx(31.0, rel=1e-3)
+
+    def test_predictions_floored_at_one_microsecond(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        model = RidgeModel.fit(X, y, alpha=1e-8)
+        assert model.predict([-1000.0]) >= 1.0
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            RidgeModel.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            RidgeModel.fit(np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(ModelError):
+            RidgeModel.fit(np.zeros((3, 2)), np.zeros(3), alpha=-1)
+
+
+class TestKernelModels:
+    def test_regular_kernels_predict_well(self, suite):
+        model = train_kernel_model(suite["VA"])
+        stats = evaluate_model(model, suite["VA"])
+        assert stats["mean_error"] < 0.06
+
+    def test_irregular_kernel_predicts_worse(self, suite):
+        va = evaluate_model(train_kernel_model(suite["VA"]), suite["VA"])
+        spmv = evaluate_model(train_kernel_model(suite["SPMV"]), suite["SPMV"])
+        assert spmv["mean_error"] > va["mean_error"]
+
+    def test_eval_seed_must_differ_from_training(self, suite):
+        model = train_kernel_model(suite["VA"])
+        with pytest.raises(ModelError):
+            evaluate_model(model, suite["VA"], seed=0)
+
+    def test_model_bank_predicts_all(self, suite):
+        bank = ModelBank(suite)
+        for kspec in suite:
+            pred = bank.predict(kspec.name, kspec.input("large"))
+            truth = true_duration_us(kspec, kspec.input("large"))
+            assert pred == pytest.approx(truth, rel=0.30)
+
+    def test_model_bank_unknown_kernel(self, suite):
+        bank = ModelBank(suite)
+        with pytest.raises(ModelError):
+            bank.predict("nope", suite["VA"].input("large"))
+
+    def test_oracle_is_exact(self, suite):
+        oracle = OracleModelBank(suite)
+        for kspec in suite:
+            inp = kspec.input("small")
+            assert oracle.predict(kspec.name, inp) == pytest.approx(
+                true_duration_us(kspec, inp)
+            )
+
+    def test_training_is_deterministic(self, suite):
+        m1 = train_kernel_model(suite["MM"], seed=3)
+        m2 = train_kernel_model(suite["MM"], seed=3)
+        assert np.allclose(m1.model.weights, m2.model.weights)

@@ -1,0 +1,55 @@
+"""Preemption-overhead estimation tests (§4.2)."""
+
+import pytest
+
+from repro.runtime.profiler import (
+    OverheadEstimates,
+    analytic_preemption_overhead,
+    profile_preemption_overhead,
+)
+
+
+class TestAnalytic:
+    def test_scales_with_amortizing_factor(self, suite):
+        nn = suite["NN"]
+        small_l = analytic_preemption_overhead(nn, 1)
+        big_l = analytic_preemption_overhead(nn, 200)
+        assert big_l > small_l
+
+    def test_includes_relaunch_cost(self, suite, k40):
+        o = analytic_preemption_overhead(suite["CFD"], 1)
+        assert o > k40.costs.kernel_launch_us
+
+
+class TestProfiled:
+    def test_fifty_runs_average(self, suite):
+        stats = profile_preemption_overhead(suite["SPMV"], 2, runs=50)
+        assert stats["runs"] == 50
+        assert stats["mean_drain_us"] > 0
+        assert stats["max_drain_us"] >= stats["mean_drain_us"]
+        assert stats["overhead_us"] > stats["mean_drain_us"]
+
+    def test_profiled_drain_bounded_by_group(self, suite, k40):
+        """Drain latency cannot exceed one poll group plus slack."""
+        kspec = suite["NN"]
+        L = 100
+        stats = profile_preemption_overhead(kspec, L, runs=20)
+        group = L * (kspec.task_time_us + k40.costs.task_pull_us)
+        assert stats["max_drain_us"] <= group + k40.costs.pinned_poll_us * 2 + 5
+
+    def test_deterministic_for_seed(self, suite):
+        a = profile_preemption_overhead(suite["MM"], 2, runs=10, seed=7)
+        b = profile_preemption_overhead(suite["MM"], 2, runs=10, seed=7)
+        assert a == b
+
+
+class TestEstimates:
+    def test_covers_all_benchmarks(self, suite):
+        est = OverheadEstimates(suite)
+        for kspec in suite:
+            assert est.overhead_us(kspec.name) > 0
+        assert len(est.as_dict()) == 8
+
+    def test_profiled_mode(self, suite):
+        est = OverheadEstimates(suite, profiled=True, runs=5)
+        assert est.overhead_us("VA") > 0

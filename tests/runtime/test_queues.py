@@ -1,0 +1,122 @@
+"""Priority-queue tests (T_r-ordered, per §5.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.queues import PriorityQueues
+from repro.runtime.tracker import ExecutionRecord
+
+
+class FakeInv:
+    _n = 0
+
+    def __init__(self, priority, remaining):
+        FakeInv._n += 1
+        self.inv_id = FakeInv._n
+        self.priority = priority
+        self.record = ExecutionRecord(predicted_us=max(remaining, 1.0))
+        self.record.remaining_us = remaining
+
+    def __repr__(self):
+        return f"FakeInv({self.priority}, {self.record.remaining_us})"
+
+
+class TestOrdering:
+    def test_head_is_shortest_remaining(self):
+        q = PriorityQueues()
+        a = FakeInv(0, 500.0)
+        b = FakeInv(0, 100.0)
+        c = FakeInv(0, 300.0)
+        for inv in (a, b, c):
+            q.enqueue(inv)
+        assert q.head(0) is b
+
+    def test_pop_head_removes(self):
+        q = PriorityQueues()
+        a, b = FakeInv(0, 10.0), FakeInv(0, 20.0)
+        q.enqueue(b)
+        q.enqueue(a)
+        assert q.pop_head(0) is a
+        assert q.pop_head(0) is b
+        assert q.head(0) is None
+
+    def test_highest_nonempty_priority(self):
+        q = PriorityQueues()
+        assert q.highest_nonempty_priority() is None
+        q.enqueue(FakeInv(1, 10.0))
+        q.enqueue(FakeInv(5, 10.0))
+        q.enqueue(FakeInv(3, 10.0))
+        assert q.highest_nonempty_priority() == 5
+
+    def test_iteration_order_priority_then_tr(self):
+        q = PriorityQueues()
+        lo = FakeInv(0, 1.0)
+        hi_a = FakeInv(2, 50.0)
+        hi_b = FakeInv(2, 10.0)
+        for inv in (lo, hi_a, hi_b):
+            q.enqueue(inv)
+        assert list(q) == [hi_b, hi_a, lo]
+
+    def test_resort_after_tr_update(self):
+        q = PriorityQueues()
+        a, b = FakeInv(0, 100.0), FakeInv(0, 200.0)
+        q.enqueue(a)
+        q.enqueue(b)
+        a.record.remaining_us = 500.0  # a ran and was preempted... etc.
+        q.resort()
+        assert q.head(0) is b
+
+
+class TestValidation:
+    def test_double_enqueue_rejected(self):
+        q = PriorityQueues()
+        a = FakeInv(0, 10.0)
+        q.enqueue(a)
+        with pytest.raises(RuntimeEngineError):
+            q.enqueue(a)
+
+    def test_remove_missing_rejected(self):
+        q = PriorityQueues()
+        with pytest.raises(RuntimeEngineError):
+            q.remove(FakeInv(0, 10.0))
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(RuntimeEngineError):
+            PriorityQueues().pop_head(0)
+
+    def test_contains_and_len(self):
+        q = PriorityQueues()
+        a = FakeInv(0, 10.0)
+        assert a not in q and len(q) == 0
+        q.enqueue(a)
+        assert a in q and len(q) == 1
+        q.remove(a)
+        assert a not in q and len(q) == 0
+
+
+class TestProperty:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 3), st.floats(1.0, 1e6)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_heads_always_minimal(self, entries):
+        q = PriorityQueues()
+        invs = [FakeInv(p, r) for p, r in entries]
+        for inv in invs:
+            q.enqueue(inv)
+        for p in {p for p, _ in entries}:
+            head = q.head(p)
+            group = [i for i in invs if i.priority == p]
+            assert head.record.remaining_us == min(
+                i.record.remaining_us for i in group
+            )
+        # drain in iteration order: priorities descend
+        seen = list(q)
+        priorities = [i.priority for i in seen]
+        assert priorities == sorted(priorities, reverse=True)

@@ -1,0 +1,99 @@
+"""(T_e, T_w, T_r) execution-record tests (§5.1)."""
+
+import pytest
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.tracker import (
+    ExecutionRecord,
+    InvocationState,
+    MIN_REMAINING_US,
+)
+
+
+def record(predicted=1000.0, at=0.0):
+    return ExecutionRecord(predicted_us=predicted, arrived_at=at)
+
+
+class TestLifecycle:
+    def test_initial_triplet(self):
+        r = record(500.0)
+        assert r.state is InvocationState.WAITING
+        assert r.predicted_us == 500.0
+        assert r.remaining_us == 500.0  # T_r starts at T_e
+        assert r.waited_us == 0.0
+
+    def test_waiting_accumulates_tw(self):
+        r = record(1000.0, at=0.0)
+        r.refresh(100.0)
+        assert r.waited_us == 100.0
+        assert r.remaining_us == 1000.0  # T_r untouched while waiting
+
+    def test_running_decrements_tr_not_tw(self):
+        r = record(1000.0)
+        r.mark_running(50.0)
+        r.refresh(250.0)
+        assert r.waited_us == 50.0
+        assert r.remaining_us == 800.0
+
+    def test_preemption_cycle(self):
+        r = record(1000.0)
+        r.mark_running(0.0)
+        r.mark_preempting(300.0)     # drain begins; still consuming T_r
+        r.mark_waiting(320.0)        # fully off the GPU
+        assert r.preemptions == 1
+        assert r.remaining_us == pytest.approx(1000.0 - 320.0)
+        r.refresh(500.0)
+        assert r.waited_us == pytest.approx(180.0)
+        r.mark_running(500.0)
+        r.mark_finished(1180.0)
+        assert r.finished_at == 1180.0
+        assert r.remaining_us == 0.0
+        assert r.turnaround_us == 1180.0
+        assert len(r.run_segments) == 2
+        assert r.run_segments[0] == (0.0, 320.0)
+        assert r.run_segments[1] == (500.0, 1180.0)
+        assert r.gpu_time_us == pytest.approx(1000.0)
+
+    def test_tr_floor(self):
+        r = record(100.0)
+        r.mark_running(0.0)
+        r.refresh(10_000.0)  # prediction undershot badly
+        assert r.remaining_us == MIN_REMAINING_US
+
+    def test_degradation_definition(self):
+        r = record(100.0)
+        r.refresh(300.0)       # waited 300
+        r.mark_running(300.0)
+        r.mark_finished(400.0)
+        # (T_w + T_e) / T_e = (300 + 100) / 100
+        assert r.degradation() == pytest.approx(4.0)
+
+    def test_degradation_none_until_finished(self):
+        assert record().degradation() is None
+
+    def test_turnaround_none_until_finished(self):
+        assert record().turnaround_us is None
+
+
+class TestValidation:
+    def test_predicted_must_be_positive(self):
+        with pytest.raises(RuntimeEngineError):
+            ExecutionRecord(predicted_us=0.0)
+
+    def test_cannot_run_after_finish(self):
+        r = record()
+        r.mark_running(0.0)
+        r.mark_finished(10.0)
+        with pytest.raises(RuntimeEngineError):
+            r.mark_running(20.0)
+
+    def test_cannot_preempt_unless_running(self):
+        r = record()
+        with pytest.raises(RuntimeEngineError):
+            r.mark_preempting(1.0)
+
+    def test_time_cannot_go_backwards(self):
+        r = record()
+        r.refresh(100.0)
+        with pytest.raises(RuntimeEngineError):
+            r.refresh(50.0)

@@ -1,0 +1,71 @@
+"""Meta-tests on API quality: documentation coverage and export
+hygiene across the whole package."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    if "__main__" not in name
+]
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_classes_and_functions_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "pkg",
+        [
+            "repro.gpu",
+            "repro.compiler",
+            "repro.runtime",
+            "repro.core",
+            "repro.baselines",
+            "repro.workloads",
+            "repro.metrics",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolves(self, pkg):
+        module = importlib.import_module(pkg)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        for name in exported:
+            assert hasattr(module, name), f"{pkg}.{name}"
+
+    def test_cli_errors_are_clean(self, capsys):
+        from repro.cli import main
+
+        rc = main(["tune", "BOGUS"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

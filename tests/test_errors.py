@@ -1,0 +1,36 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_parse_error_carries_location(self):
+        e = errors.ParseError("bad token", line=3, column=7)
+        assert e.line == 3 and e.column == 7
+        assert "line 3" in str(e)
+
+    def test_parse_error_without_location(self):
+        e = errors.ParseError("bad token")
+        assert "line" not in str(e)
+
+    def test_subsystem_groups(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+        assert issubclass(errors.ParseError, errors.CompilationError)
+        assert issubclass(errors.TransformError, errors.CompilationError)
+        assert issubclass(errors.ModelError, errors.RuntimeEngineError)
+
+    def test_catch_all_works(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OccupancyError("x")

@@ -1,0 +1,63 @@
+"""Calibration tests: Table 1 must hold by construction."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import calibration as cal
+from repro.workloads.benchmarks import BENCHMARK_NAMES, standard_suite
+
+
+class TestTable1Data:
+    def test_eight_benchmarks(self):
+        assert len(cal.TABLE1) == 8
+        assert set(cal.TABLE1) == set(BENCHMARK_NAMES)
+
+    def test_verbatim_values_spotcheck(self):
+        assert cal.TABLE1["VA"].large_us == 30634
+        assert cal.TABLE1["VA"].amortize_l == 200
+        assert cal.TABLE1["CFD"].kernel_loc == 130
+        assert cal.TABLE1["NN"].small_us == 728
+        assert cal.TABLE1["MM"].suite == "CUDA SDK"
+
+    def test_constants_cover_all_benchmarks(self):
+        for table in (cal.TASK_TIME_US, cal.IRREGULARITY, cal.RESOURCES,
+                      cal.CONTENTION):
+            assert set(table) == set(cal.TABLE1)
+
+
+class TestCalibrationMath:
+    def test_all_benchmarks_reach_120_slots(self, suite):
+        for name in BENCHMARK_NAMES:
+            assert cal.device_slots(name, suite.device) == 120
+
+    def test_solver_inverts_forward_model(self):
+        for name in BENCHMARK_NAMES:
+            row = cal.TABLE1[name]
+            tasks = cal.solve_tasks(name, row.large_us)
+            model = cal.expected_exec_us(name, tasks)
+            assert model == pytest.approx(row.large_us, rel=0.001)
+
+    def test_solve_below_launch_overhead_rejected(self):
+        with pytest.raises(WorkloadError):
+            cal.solve_tasks("VA", 10.0)
+
+    def test_verify_calibration_all_match(self):
+        report = cal.verify_calibration()
+        assert all(r["l_matches"] for r in report.values())
+        assert all(r["rel_error"] < 0.001 for r in report.values())
+
+    def test_transform_overhead_monotone_in_L(self):
+        assert cal.transform_overhead("NN", 10) > cal.transform_overhead(
+            "NN", 100
+        )
+
+    def test_transform_overhead_validates(self):
+        with pytest.raises(WorkloadError):
+            cal.transform_overhead("NN", 0)
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_analytic_factor_matches_table(self, bench):
+        assert (
+            cal.analytic_amortizing_factor(bench)
+            == cal.TABLE1[bench].amortize_l
+        )

@@ -1,0 +1,74 @@
+"""Training-input generation tests."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.inputs import (
+    random_input,
+    training_set,
+    true_duration_us,
+)
+
+
+class TestRandomInputs:
+    def test_sizes_within_range(self, suite):
+        kspec = suite["NN"]
+        rng = random.Random(0)
+        large = kspec.input("large")
+        for _ in range(50):
+            inp = random_input(kspec, rng, lo_frac=0.1, hi_frac=1.0)
+            assert inp.size <= large.size
+            assert inp.size >= int(large.size * 0.1) - kspec.work_per_task
+
+    def test_hidden_factor_bounded(self, suite):
+        kspec = suite["SPMV"]
+        rng = random.Random(1)
+        for _ in range(100):
+            inp = random_input(kspec, rng)
+            assert -0.5 <= inp.hidden_factor <= 0.5
+
+    def test_regular_kernel_small_hidden(self, suite):
+        rng = random.Random(2)
+        spread_va = [abs(random_input(suite["VA"], rng).hidden_factor)
+                     for _ in range(100)]
+        spread_spmv = [abs(random_input(suite["SPMV"], rng).hidden_factor)
+                       for _ in range(100)]
+        assert sum(spread_va) < sum(spread_spmv)
+
+    def test_bad_range_rejected(self, suite):
+        with pytest.raises(WorkloadError):
+            random_input(suite["VA"], random.Random(0),
+                         lo_frac=0.5, hi_frac=0.5)
+
+
+class TestTrainingSet:
+    def test_hundred_samples(self, suite):
+        samples = training_set(suite["MM"], n=100)
+        assert len(samples) == 100
+
+    def test_features_are_the_papers_four(self, suite):
+        kspec = suite["MM"]
+        s = training_set(kspec, n=1)[0]
+        assert s.features == [
+            float(s.grid_size),
+            float(kspec.resources.threads_per_cta),
+            float(s.input_size),
+            float(kspec.resources.shared_mem_per_cta),
+        ]
+
+    def test_deterministic_per_seed(self, suite):
+        a = training_set(suite["PF"], n=20, seed=5)
+        b = training_set(suite["PF"], n=20, seed=5)
+        assert [s.duration_us for s in a] == [s.duration_us for s in b]
+
+    def test_different_seeds_differ(self, suite):
+        a = training_set(suite["PF"], n=20, seed=5)
+        b = training_set(suite["PF"], n=20, seed=6)
+        assert [s.duration_us for s in a] != [s.duration_us for s in b]
+
+    def test_duration_includes_launch_overhead(self, suite, k40):
+        kspec = suite["VA"]
+        d = true_duration_us(kspec, kspec.input("trivial"))
+        assert d > k40.costs.kernel_launch_us

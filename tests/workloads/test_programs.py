@@ -1,0 +1,75 @@
+"""Benchmark host-program builder tests."""
+
+import pytest
+
+from repro.core.flep import FlepSystem
+from repro.errors import WorkloadError
+from repro.gpu.host import CopyToDevice, CopyToHost, HostCompute, KernelInvoke
+from repro.runtime.engine import RuntimeConfig
+from repro.workloads.programs import benchmark_program, iterative_program
+
+
+class TestBuilders:
+    def test_canonical_shape(self):
+        p = benchmark_program("NN", "small", priority=2)
+        kinds = [type(op) for op in p.ops]
+        assert kinds == [HostCompute, CopyToDevice, KernelInvoke, CopyToHost]
+        assert p.priority == 2
+        assert p.ops[1].nbytes > p.ops[3].nbytes  # results smaller
+
+    def test_iterative_shape(self):
+        p = iterative_program("PF", iterations=16)
+        invoke = next(op for op in p.ops if isinstance(op, KernelInvoke))
+        assert invoke.repeats == 16
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            benchmark_program("NN", repeats=0)
+        with pytest.raises(WorkloadError):
+            iterative_program("PF", iterations=0)
+
+
+class TestEndToEnd:
+    def test_full_app_through_interception(self, suite):
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        proc = system.run_program(benchmark_program("SPMV", "small"))
+        system.run()
+        assert proc.finished
+        inv = proc.invocations[0]
+        # kernel arrived only after prep + H2D transfer
+        h2d = suite.device.costs.transfer_time_us(
+            benchmark_program("SPMV", "small").ops[1].nbytes
+        )
+        assert inv.record.arrived_at > h2d
+
+    def test_iterative_app_serializes_kernels(self, suite):
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        proc = system.run_program(iterative_program("PF", 5, "trivial"))
+        system.run()
+        assert proc.finished
+        assert len(proc.invocations) == 5
+        finishes = [i.record.finished_at for i in proc.invocations]
+        assert finishes == sorted(finishes)
+
+    def test_two_apps_with_priorities(self, suite):
+        system = FlepSystem(
+            policy="hpf", device=suite.device, suite=suite,
+            config=RuntimeConfig(oracle_model=True),
+        )
+        lo = system.run_program(benchmark_program("NN", "large", priority=0))
+        hi = system.run_program(
+            benchmark_program("SPMV", "small", priority=1),
+            start_at_us=2_000.0,
+        )
+        system.run()
+        assert lo.finished and hi.finished
+        assert (
+            hi.invocations[0].record.finished_at
+            < lo.invocations[0].record.finished_at
+        )

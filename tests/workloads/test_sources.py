@@ -1,0 +1,50 @@
+"""Benchmark CUDA-source bundle tests."""
+
+import pytest
+
+from repro.compiler.parser import parse
+from repro.errors import WorkloadError
+from repro.workloads.calibration import TABLE1
+from repro.workloads.sources import SOURCES, kernel_name_of, source_of
+
+
+class TestBundle:
+    def test_all_eight_present(self):
+        assert set(SOURCES) == set(TABLE1)
+
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    def test_source_parses_with_one_kernel(self, bench):
+        unit = parse(source_of(bench))
+        kernels = unit.kernels()
+        assert len(kernels) == 1
+        assert kernels[0].name == kernel_name_of(bench)
+
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    def test_host_main_launches_the_kernel(self, bench):
+        unit = parse(source_of(bench))
+        assert unit.function("main") is not None
+        assert f"{kernel_name_of(bench)}<<<" in source_of(bench)
+
+    def test_va_kernel_is_tiny(self):
+        """Table 1: VA's kernel is 6 lines — ours is a handful too."""
+        src = source_of("VA")
+        body = src.split("{", 1)[1].split("}")[0]
+        assert len([l for l in body.splitlines() if l.strip()]) <= 6
+
+    def test_cfd_is_the_biggest(self):
+        sizes = {b: len(source_of(b)) for b in SOURCES}
+        assert max(sizes, key=sizes.get) == "CFD"
+
+    def test_mm_declares_shared_tiles(self):
+        assert "__shared__ float As[16][16]" in source_of("MM")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            source_of("XX")
+        with pytest.raises(WorkloadError):
+            kernel_name_of("XX")
+
+    @pytest.mark.parametrize("bench", sorted(SOURCES))
+    def test_grids_are_one_dimensional(self, bench):
+        """The FLEP transform supports 1-D grids; sources must comply."""
+        assert "blockIdx.y" not in source_of(bench)

@@ -1,0 +1,108 @@
+"""KernelSpec / InputSpec tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu.kernel import KernelMode
+from repro.workloads.benchmarks import BENCHMARK_NAMES, standard_suite
+from repro.workloads.specs import InputSpec, KernelSpec
+
+
+class TestInputs:
+    def test_three_canonical_inputs_each(self, suite):
+        for kspec in suite:
+            for name in ("large", "small", "trivial"):
+                inp = kspec.input(name)
+                assert inp.tasks > 0
+
+    def test_large_is_largest(self, suite):
+        for kspec in suite:
+            assert (
+                kspec.input("large").tasks
+                > kspec.input("small").tasks
+                > kspec.input("trivial").tasks
+            )
+
+    def test_trivial_is_forty_ctas(self, suite):
+        for kspec in suite:
+            assert kspec.input("trivial").tasks == 40
+
+    def test_unknown_input_rejected(self, suite):
+        with pytest.raises(WorkloadError):
+            suite["VA"].input("gigantic")
+
+    def test_unknown_benchmark_rejected(self, suite):
+        with pytest.raises(WorkloadError):
+            suite["XYZ"]
+
+    def test_input_validation(self):
+        with pytest.raises(WorkloadError):
+            InputSpec("x", 10, -1)
+        with pytest.raises(WorkloadError):
+            InputSpec("x", 10, 5, task_scale=0.0)
+        with pytest.raises(WorkloadError):
+            InputSpec("x", 10, 5, hidden_factor=-1.5)
+
+    def test_make_input_uses_work_model(self, suite):
+        kspec = suite["VA"]
+        inp = kspec.make_input("custom", 2560)
+        assert inp.tasks == 10  # 2560 / 256
+
+
+class TestImages:
+    def test_original_image_mode(self, suite):
+        img = suite["NN"].original_image(suite["NN"].input("small"))
+        assert img.mode is KernelMode.ORIGINAL
+
+    def test_flep_image_carries_factor(self, suite):
+        img = suite["NN"].flep_image(suite["NN"].input("small"), 100)
+        assert img.mode is KernelMode.PERSISTENT
+        assert img.amortize_l == 100
+        assert img.supports_spatial
+
+    def test_hidden_factor_scales_duration(self, suite):
+        kspec = suite["SPMV"]
+        base = kspec.make_input("a", 10_000, hidden_factor=0.0)
+        slow = kspec.make_input("b", 10_000, hidden_factor=0.2)
+        assert kspec.task_model(slow).mean_task_us == pytest.approx(
+            1.2 * kspec.task_model(base).mean_task_us
+        )
+
+    def test_packing_factor_scales_duration(self, suite):
+        kspec = suite["NN"]
+        inp = kspec.input("trivial")
+        full = kspec.task_model(inp, packing_factor=1.0)
+        sparse = kspec.task_model(inp, packing_factor=0.5)
+        assert sparse.mean_task_us == pytest.approx(0.5 * full.mean_task_us)
+
+
+class TestContention:
+    def test_full_occupancy_factor_is_one(self, suite):
+        for kspec in suite:
+            assert kspec.contention_factor(8, 8) == 1.0
+
+    def test_sparser_packing_is_faster(self, suite):
+        kspec = suite["NN"]  # contention 2.0
+        assert kspec.contention_factor(1, 8) < kspec.contention_factor(4, 8)
+        assert kspec.contention_factor(4, 8) < 1.0
+
+    def test_compute_bound_kernel_barely_affected(self, suite):
+        mm = suite["MM"]     # contention 0.3
+        nn = suite["NN"]     # contention 2.0
+        assert mm.contention_factor(1, 8) > nn.contention_factor(1, 8)
+
+    def test_zero_contention_always_one(self):
+        from repro.gpu.kernel import ResourceUsage
+
+        kspec = KernelSpec(
+            name="Z", suite="synthetic", description="", kernel_loc=1,
+            resources=ResourceUsage(256, 16, 0),
+            task_time_us=1.0, irregularity=0.0, contention=0.0,
+        )
+        assert kspec.contention_factor(1, 8) == 1.0
+
+    def test_validation(self, suite):
+        with pytest.raises(WorkloadError):
+            suite["NN"].contention_factor(0, 8)
+        with pytest.raises(WorkloadError):
+            suite["NN"].contention_factor(9, 8)

@@ -1,0 +1,54 @@
+"""Synthetic workload / trace generator tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu.kernel import KernelMode
+from repro.workloads.synthetic import poisson_trace, synthetic_kernel
+
+
+class TestSyntheticKernel:
+    def test_builds_original_image(self):
+        k = synthetic_kernel("syn", tasks=100, task_us=5.0)
+        assert k.mode is KernelMode.ORIGINAL
+        assert k.task_model.mean_task_us == 5.0
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_kernel("syn", tasks=0, task_us=5.0)
+
+
+class TestPoissonTrace:
+    def test_rate_roughly_matches(self):
+        trace = poisson_trace(["NN"], rate_per_ms=2.0, duration_ms=100.0,
+                              seed=0)
+        # expect ~200 arrivals; allow generous tolerance
+        assert 140 <= len(trace.arrivals) <= 260
+
+    def test_arrivals_within_horizon(self):
+        trace = poisson_trace(["NN", "VA"], rate_per_ms=1.0,
+                              duration_ms=10.0, seed=1)
+        assert all(0 < a.at_us <= 10_000.0 for a in trace.arrivals)
+        assert trace.horizon_us <= 10_000.0
+
+    def test_sorted_by_time(self):
+        trace = poisson_trace(["NN"], 1.0, 20.0, seed=2)
+        times = [a.at_us for a in trace.sorted()]
+        assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_trace(["NN"], 1.0, 20.0, seed=3)
+        b = poisson_trace(["NN"], 1.0, 20.0, seed=3)
+        assert [x.at_us for x in a.arrivals] == [x.at_us for x in b.arrivals]
+
+    def test_kernels_drawn_from_given_set(self):
+        trace = poisson_trace(["MM", "VA"], 2.0, 20.0, seed=4,
+                              priorities=[0, 1])
+        assert {a.kernel_name for a in trace.arrivals} <= {"MM", "VA"}
+        assert {a.priority for a in trace.arrivals} <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace(["NN"], 0.0, 10.0)
+        with pytest.raises(WorkloadError):
+            poisson_trace(["NN"], 1.0, -1.0)

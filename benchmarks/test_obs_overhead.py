@@ -1,0 +1,83 @@
+"""Observability overhead: the disabled (null-recorder) hot path.
+
+The instrumentation contract is that an unobserved system pays only a
+guard check (``if self.obs.enabled:``) per hook site. This bench times
+the guard directly, counts how often the hot sites actually fire in a
+representative co-run, and asserts the extrapolated guard cost stays
+under 5 % of the co-run's wall time. A second bench records the cost of
+running fully observed, for the report.
+"""
+
+import time
+import timeit
+
+from repro.core.flep import FlepSystem
+from repro.obs import NULL_OBS
+from repro.runtime.engine import RuntimeConfig
+
+
+def _run_pair(**kwargs):
+    """The canonical temporal-preemption co-run (NN preempted by SPMV)."""
+    system = FlepSystem(
+        policy="hpf", config=RuntimeConfig(oracle_model=True), **kwargs
+    )
+    system.submit_at(0.0, "low", "NN", "large", priority=0)
+    system.submit_at(200.0, "high", "SPMV", "small", priority=1)
+    system.run()
+    return system
+
+
+def _guard_cost_us() -> float:
+    """Measured cost of one ``obs.enabled`` guard check (µs)."""
+
+    class HotObject:
+        obs = NULL_OBS
+
+    hot = HotObject()
+    n = 200_000
+    total_s = timeit.timeit(lambda: hot.obs.enabled, number=n)
+    return total_s / n * 1e6
+
+
+def _guarded_sites_fired(system) -> float:
+    """How many guard checks the null path would have evaluated, counted
+    from a fully-observed run of the same scenario: one per simulator
+    event, one per completed batch (CTA hot loop), two per CTA context
+    (admit + release), plus a handful of engine-side lifecycle hooks."""
+    m = system.obs
+    batches = m.m_sim_events.value(kind="batch")
+    return (
+        m.m_sim_events.total
+        + batches
+        + 2 * m.m_cta_admissions.total
+        + 4 * m.m_invocations.total
+        + 20  # queue-depth / launch / preemption hooks, generously
+    )
+
+
+def test_null_recorder_overhead_under_5_percent(benchmark):
+    # wall time of the scenario on the default (null-recorder) path
+    benchmark.pedantic(_run_pair, rounds=3, iterations=1, warmup_rounds=1)
+    t0 = time.perf_counter()
+    _run_pair()
+    null_wall_us = (time.perf_counter() - t0) * 1e6
+
+    observed = _run_pair(observability=True)
+    sites = _guarded_sites_fired(observed)
+    guard_total_us = sites * _guard_cost_us()
+
+    overhead = guard_total_us / null_wall_us
+    assert overhead < 0.05, (
+        f"null-recorder guards cost {guard_total_us:.0f}us over {sites:.0f} "
+        f"sites = {overhead:.2%} of the {null_wall_us:.0f}us co-run"
+    )
+
+
+def test_observed_run_records_everything(benchmark):
+    system = benchmark.pedantic(
+        lambda: _run_pair(observability=True),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert system.obs.m_finished.total == 2
+    assert system.obs.m_preempt_done.value(kind="temporal") == 1
+    assert not system.obs.tracer.open_spans()

@@ -2,9 +2,11 @@
 
     flep list                      # enumerate the experiments
     flep run fig8 [fig10 ...]      # regenerate specific tables/figures
-    flep run all                   # the whole evaluation section
+    flep run all --json            # the whole evaluation section, as JSON
     flep compile VA                # show a benchmark's transformed source
     flep tune NN                   # run the offline amortizing-factor tuner
+    flep trace --export out.json   # co-run + Chrome/Perfetto trace export
+    flep stats fig8 --prometheus   # metrics from an observed experiment run
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import json
+
     from .experiments import EXPERIMENTS
 
     names: List[str] = args.experiments
@@ -37,12 +41,18 @@ def _cmd_run(args) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    as_json = []
     for name in names:
         started = time.time()
         report = EXPERIMENTS[name].run()
-        print(report.format())
-        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
-        print()
+        if args.json:
+            as_json.append(report.as_dict())
+        else:
+            print(report.format())
+            print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+            print()
+    if args.json:
+        print(json.dumps(as_json, indent=2, default=str))
     return 0
 
 
@@ -70,12 +80,18 @@ def _cmd_compile(args) -> int:
 def _cmd_trace(args) -> int:
     from .core.flep import FlepSystem
 
-    system = FlepSystem(policy=args.policy, trace=True)
+    system = FlepSystem(
+        policy=args.policy, trace=True, observability=bool(args.export)
+    )
     system.submit_at(0.0, f"low_{args.low}", args.low, "large", priority=0)
     system.submit_at(
         args.delay, f"high_{args.high}", args.high, args.input, priority=1
     )
     result = system.run()
+    if args.export:
+        system.obs.tracer.write_chrome_trace(args.export)
+        print(f"wrote Chrome trace to {args.export} "
+              f"(load in chrome://tracing or https://ui.perfetto.dev)")
     print("=== scheduler decision journal ===")
     print(system.runtime.journal.format())
     print()
@@ -92,6 +108,37 @@ def _cmd_trace(args) -> int:
             f"turnaround={r.turnaround_us:.0f}us, waited={r.waited_us:.0f}us, "
             f"preemptions={r.preemptions}"
         )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .experiments import EXPERIMENTS
+    from .obs import observed
+
+    names: List[str] = args.experiments or ["fig8"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    with observed() as hub:
+        for name in names:
+            started = time.time()
+            EXPERIMENTS[name].run()
+            print(f"[{name} observed in {time.time() - started:.1f}s]",
+                  file=sys.stderr)
+    if args.prometheus:
+        text = hub.metrics.render_prometheus()
+    else:
+        text = hub.metrics.format_summary()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -135,7 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="regenerate tables/figures")
     run_p.add_argument("experiments", nargs="+",
                        help="experiment ids (or 'all')")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the reports as a JSON array instead of text")
     run_p.set_defaults(fn=_cmd_run)
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="run experiments under the observability hub and dump metrics",
+    )
+    stats_p.add_argument("experiments", nargs="*",
+                         help="experiment ids (or 'all'; default: fig8)")
+    stats_p.add_argument("--prometheus", action="store_true",
+                         help="Prometheus text exposition instead of summary")
+    stats_p.add_argument("-o", "--output", default=None,
+                         help="write to a file instead of stdout")
+    stats_p.set_defaults(fn=_cmd_stats)
 
     comp_p = sub.add_parser("compile", help="show transformed source")
     comp_p.add_argument("benchmark", help="benchmark name, e.g. VA")
@@ -168,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--delay", type=float, default=10.0,
                          help="high-priority arrival time (us)")
     trace_p.add_argument("--policy", default="hpf")
+    trace_p.add_argument("--export", default=None, metavar="PATH",
+                         help="also write a Chrome/Perfetto trace JSON here")
     trace_p.set_defaults(fn=_cmd_trace)
     return parser
 

@@ -22,6 +22,7 @@ from ..gpu.device import GPUDeviceSpec, tesla_k40
 from ..gpu.gpu import SimulatedGPU
 from ..gpu.host import HostProgram
 from ..gpu.sim import Simulator
+from ..obs.recorder import NULL_OBS, Observability, get_global
 from ..runtime.engine import FlepRuntime, KernelInvocation, RuntimeConfig
 from ..workloads.benchmarks import BenchmarkSuite, standard_suite
 from .interception import InterceptedProcess
@@ -66,6 +67,7 @@ class FlepSystem:
         config: Optional[RuntimeConfig] = None,
         seed: Optional[int] = None,
         trace: bool = False,
+        observability: Union[bool, Observability, None] = None,
     ):
         self.device = device or tesla_k40()
         self.suite = suite or standard_suite(self.device)
@@ -77,6 +79,19 @@ class FlepSystem:
 
             self.timeline = Timeline()
             self.gpu.tracer = self.timeline
+        # Observability hub: an explicit instance wins; ``True`` builds a
+        # fresh hub on the simulator clock; the default (None/False) picks
+        # up a process-global hub when one is installed, else stays null.
+        if isinstance(observability, Observability):
+            self.obs = observability
+        elif observability:
+            self.obs = Observability(clock=lambda: self.sim.now)
+        else:
+            self.obs = get_global() or NULL_OBS
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self.sim.now)
+            self.sim.obs = self.obs
+            self.gpu.obs = self.obs
         if isinstance(policy, str):
             if policy not in POLICIES:
                 raise RuntimeEngineError(
@@ -85,7 +100,7 @@ class FlepSystem:
             policy = POLICIES[policy]()
         self.policy = policy
         self.runtime = FlepRuntime(
-            self.sim, self.gpu, self.suite, policy, config
+            self.sim, self.gpu, self.suite, policy, config, obs=self.obs
         )
         self.processes: List[InterceptedProcess] = []
 
@@ -127,6 +142,8 @@ class FlepSystem:
         self.sim.run(until=until)
         if self.timeline is not None:
             self.timeline.close_open(self.sim.now)
+        if self.obs.enabled:
+            self.obs.finalize()
         return CoRunResult(
             invocations=list(self.runtime.invocations),
             makespan_us=self.sim.now,

@@ -41,3 +41,8 @@ class SchedulingPolicy(abc.ABC):
         """A temporal preemption finished draining; ``inv`` is fully off
         the GPU. Default: nothing (the successor was already launched —
         its CTAs filled the SMs as they freed)."""
+
+    def waiting_count(self) -> int:
+        """Number of invocations currently parked in this policy's wait
+        queues (observability's per-policy queue-depth gauge)."""
+        return 0

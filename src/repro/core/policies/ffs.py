@@ -53,6 +53,9 @@ class FFSPolicy(SchedulingPolicy):
     def weight_of_class(self, priority: int) -> float:
         return float(self.weights.get(priority, 1.0))
 
+    def waiting_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
     def active_invocations(self) -> List:
         active = [i for q in self._queues.values() for i in q]
         if self.rt.running is not None:

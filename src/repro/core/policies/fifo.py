@@ -32,3 +32,6 @@ class FIFOPolicy(SchedulingPolicy):
     def _maybe_start(self) -> None:
         if self.rt.running is None and self._waiting:
             self.rt.schedule_to_gpu(self._waiting.popleft())
+
+    def waiting_count(self) -> int:
+        return len(self._waiting)

@@ -51,6 +51,9 @@ class HPFPolicy(SchedulingPolicy):
         if hp is not None:
             self.schedule_for_queue(hp)
 
+    def waiting_count(self) -> int:
+        return len(self.queues)
+
     # ------------------------------------------------------------------
     # the key scheduling function (Figure 6, lines 22-34)
     # ------------------------------------------------------------------

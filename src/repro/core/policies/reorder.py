@@ -37,3 +37,6 @@ class ReorderPolicy(SchedulingPolicy):
         shortest = min(self._waiting, key=lambda i: i.record.remaining_us)
         self._waiting.remove(shortest)
         self.rt.schedule_to_gpu(shortest)
+
+    def waiting_count(self) -> int:
+        return len(self._waiting)

@@ -65,3 +65,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid metric/span registration, observation, or export."""

@@ -8,6 +8,7 @@ EXPERIMENTS.md is generated from the same data).
 
 from __future__ import annotations
 
+import json
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -87,6 +88,22 @@ class ExperimentReport:
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.format())
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data view (for ``flep run --json`` and downstream tools)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [dict(r) for r in self.rows],
+            "headline": dict(self.headline),
+            "paper": dict(self.paper),
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, default=str)
 
 
 def geo_mean(values: Sequence[float]) -> float:

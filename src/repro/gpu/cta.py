@@ -185,6 +185,12 @@ class CTAContext:
         self.tasks_done += batch
         self.grid.pool.finish(batch)
         if self._is_persistent:
+            device = self.grid.device
+            if device is not None and device.obs.enabled:
+                # charged at batch granularity so the uninstrumented hot
+                # path stays O(batches), not O(tasks)
+                device.obs.tasks_pulled(batch)
+                device.obs.flag_polled(self._polls_in_batch(batch))
             self._since_poll = (self._since_poll + batch) % self._amortize
         self._batch_size = 0
         self.grid.notify_progress()
@@ -296,6 +302,16 @@ class CTAContext:
             return
         self._yield_event = None
         pool = self.grid.pool
+        device = self.grid.device
+        if device is not None and device.obs.enabled:
+            # the polls performed up to (and including) the yielding poll
+            polled = 1
+            if self._batch_size:
+                polled += self._polls_in_batch(
+                    min(finished_in_batch, self._batch_size)
+                )
+            device.obs.flag_polled(polled)
+            device.obs.tasks_pulled(finished_in_batch)
         if self._batch_size:
             if finished_in_batch > self._batch_size:
                 raise SimulationError("yield finished more tasks than batch")

@@ -15,6 +15,7 @@ import random
 from typing import Callable, List, Optional
 
 from ..errors import SchedulingError
+from ..obs.recorder import NULL_OBS, Observability
 from .device import GPUDeviceSpec, tesla_k40
 from .grid import Grid, GridState
 from .kernel import KernelImage, LaunchConfig, TaskPool
@@ -44,6 +45,18 @@ class SimulatedGPU:
         self.completed_grids: List[Grid] = []
         #: optional Timeline recorder (repro.gpu.trace)
         self.tracer = None
+        self._obs: Observability = NULL_OBS
+
+    @property
+    def obs(self) -> Observability:
+        """Observability recorder; assigning one propagates to the SMs."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, hub: Observability) -> None:
+        self._obs = hub
+        for sm in self.sms:
+            sm.obs = hub
 
     # ------------------------------------------------------------------
     # public API
@@ -84,6 +97,8 @@ class SimulatedGPU:
         )
         grid.device = self
         self.launch_count += 1
+        if self._obs.enabled:
+            self._obs.kernel_launched(kernel.name)
         overhead = (
             self.spec.costs.kernel_launch_us
             if launch_overhead_us is None
@@ -117,6 +132,8 @@ class SimulatedGPU:
         if grid.is_terminal:
             return
         self._queue.append(grid)
+        if self._obs.enabled:
+            self._obs.hw_queue_depth(len(self._queue))
         self._dispatch()
 
     def _pick_sm(self, grid: Grid) -> Optional[SM]:
@@ -181,6 +198,8 @@ class SimulatedGPU:
     def on_grid_terminal(self, grid: Grid) -> None:
         if grid in self._queue:
             self._queue.remove(grid)
+            if self._obs.enabled:
+                self._obs.hw_queue_depth(len(self._queue))
         if grid.state is GridState.COMPLETE:
             self.completed_grids.append(grid)
         self._dispatch()

@@ -12,6 +12,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
+from ..obs.recorder import NULL_OBS
 from .clock import Clock
 from .events import Event, EventHandle
 
@@ -27,6 +28,9 @@ class Simulator:
         self._max_events = max_events
         self._running = False
         self._trace: Optional[Callable[[Event], None]] = None
+        #: observability recorder (repro.obs); the shared null recorder
+        #: keeps the per-event cost to one attribute check when disabled
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # scheduling API
@@ -107,6 +111,8 @@ class Simulator:
             )
         if self._trace is not None:
             self._trace(ev)
+        if self.obs.enabled:
+            self.obs.sim_event(ev.label)
         ev.callback()
         return True
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Set
 
 from ..errors import ResourceError
+from ..obs.recorder import NULL_OBS
 from .device import GPUDeviceSpec
 from .kernel import ResourceUsage
 from .occupancy import ceil_to
@@ -28,6 +29,8 @@ class SM:
         self.used_warps = 0
         self.used_regs = 0
         self.used_smem = 0
+        #: observability recorder; set by the owning device
+        self.obs = NULL_OBS
 
     # -- footprint math --------------------------------------------------
     def _footprint(self, usage: ResourceUsage):
@@ -69,6 +72,8 @@ class SM:
         self.used_warps += warps
         self.used_regs += regs
         self.used_smem += smem
+        if self.obs.enabled:
+            self.obs.sm_admitted(self.sm_id, len(self.resident))
 
     def release(self, context, usage: ResourceUsage) -> None:
         """Remove a CTA context, returning its resources."""
@@ -84,6 +89,8 @@ class SM:
             raise ResourceError(
                 f"SM {self.sm_id} resource accounting went negative"
             )
+        if self.obs.enabled:
+            self.obs.sm_released(self.sm_id, len(self.resident))
 
     @property
     def idle(self) -> bool:

@@ -36,7 +36,21 @@ class Interval:
         return self.end_us - self.start_us
 
     def overlaps(self, t0: float, t1: float) -> float:
-        """Overlap length with the window [t0, t1)."""
+        """Overlap length with the half-open window ``[t0, t1)``.
+
+        Boundary semantics are deliberately half-open so adjacent
+        windows tile a timeline without double-counting:
+
+        * an interval ending exactly at ``t0`` contributes 0 — its time
+          belongs to the *previous* window;
+        * an interval starting exactly at ``t1`` contributes 0 — its
+          time belongs to the *next* window;
+        * a zero-length interval (``start_us == end_us``) contributes 0
+          everywhere, even when it sits inside the window.
+
+        The result is never negative, including for inverted or empty
+        windows (``t1 <= t0``).
+        """
         return max(0.0, min(self.end_us, t1) - max(self.start_us, t0))
 
 

@@ -1,0 +1,56 @@
+"""Unified observability layer: metrics registry, span tracer, exporters.
+
+See DESIGN.md's "Observability" section for the metric catalog and the
+span model. Quick start::
+
+    from repro import FlepSystem
+    from repro.obs import Observability
+
+    system = FlepSystem(policy="hpf", observability=True)
+    system.submit_at(0.0, "batch", "NN", "large", priority=0)
+    system.submit_at(10.0, "rt", "SPMV", "small", priority=1)
+    system.run()
+    print(system.obs.metrics.format_summary())
+    system.obs.tracer.write_chrome_trace("trace.json")   # chrome://tracing
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_US_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .recorder import (
+    NULL_OBS,
+    NullObservability,
+    Observability,
+    get_global,
+    install_global,
+    observed,
+    uninstall_global,
+)
+from .tracer import CounterSample, InstantEvent, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "CounterSample",
+    "DEFAULT_US_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObservability",
+    "Observability",
+    "Span",
+    "SpanTracer",
+    "get_global",
+    "install_global",
+    "observed",
+    "parse_prometheus",
+    "uninstall_global",
+]

@@ -1,0 +1,428 @@
+"""The observability hub: one facade the instrumented layers talk to.
+
+Instrumentation sites (simulator, device, SMs, CTA contexts, runtime
+engine) never touch metric families or spans directly — they call the
+typed hooks on an :class:`Observability` hub, which maintains the
+metrics catalog and the span model in one place. Uninstrumented runs use
+the module-level :data:`NULL_OBS` singleton, a :class:`NullObservability`
+whose hooks are all no-ops; hot paths additionally guard with the
+``enabled`` class attribute so a disabled run pays a single attribute
+check per site (asserted <5% end-to-end by
+``benchmarks/test_obs_overhead.py``).
+
+A hub can also be installed process-globally (``install_global``):
+:class:`~repro.core.flep.FlepSystem` picks the global hub up by default,
+which is how ``flep stats`` aggregates metrics across every simulation
+an experiment runs without threading a registry through the harness.
+
+Span model (exported via ``tracer.chrome_trace()``):
+
+* one ``invocation`` span per intercepted kernel invocation, on its own
+  named track inside its submitting process;
+* ``wait`` / ``execute`` / ``resume`` segments inside it, following the
+  tracker's (Figure 5) state machine;
+* a ``drain`` sub-span from each temporal preemption request to the
+  drain completing, nested inside the running segment;
+* a ``spatial_yield`` sub-span while the victim cedes SMs to a guest;
+* instant markers for preemption requests and counter tracks for queue
+  depth and CTA residency.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .tracer import Span, SpanTracer
+
+#: Wider buckets (µs) for end-to-end invocation times.
+TURNAROUND_US_BUCKETS: Tuple[float, ...] = (
+    100.0, 500.0, 1_000.0, 5_000.0, 10_000.0, 50_000.0,
+    100_000.0, 500_000.0, 1_000_000.0, 5_000_000.0,
+)
+
+
+class Observability:
+    """Live hub: a metrics registry plus a span tracer."""
+
+    #: Hot paths check this before calling any hook.
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer(clock if clock is not None else lambda: 0.0)
+        self._register_catalog()
+        #: per-invocation open spans: inv_id -> {"inv": .., "seg": ..,
+        #: "drain": .., "spatial": ..}
+        self._inv_spans: Dict[int, Dict[str, Span]] = {}
+        self._resident_ctas = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the span tracer at a (new) simulation clock.
+
+        A hub installed globally before any system exists starts on a
+        zero clock; each FlepSystem that adopts it re-binds the tracer to
+        its own simulator so span timestamps are meaningful."""
+        self.tracer._clock = clock
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def _register_catalog(self) -> None:
+        m = self.metrics
+        self.m_sim_events = m.counter(
+            "flep_sim_events_total",
+            "discrete events executed by the simulator, by event kind",
+            ("kind",),
+        )
+        self.m_launches = m.counter(
+            "flep_kernel_launches_total",
+            "kernel-launch commands sent to the device, by kernel image",
+            ("kernel",),
+        )
+        self.m_relaunches = m.counter(
+            "flep_kernel_relaunches_total",
+            "grids relaunched by the runtime (resume after a temporal "
+            "preemption, or top-up after a spatial guest left)",
+            ("reason",),
+        )
+        self.m_cta_admissions = m.counter(
+            "flep_cta_admissions_total",
+            "CTA contexts admitted onto SMs",
+        )
+        self.m_sm_resident = m.gauge(
+            "flep_sm_resident_ctas",
+            "CTA contexts currently resident, per SM",
+            ("sm",),
+        )
+        self.m_hw_queue = m.gauge(
+            "flep_hw_queue_depth",
+            "grids in the device-wide hardware FIFO",
+        )
+        self.m_task_pulls = m.counter(
+            "flep_task_pulls_total",
+            "tasks pulled from persistent-kernel task pools",
+        )
+        self.m_flag_polls = m.counter(
+            "flep_flag_polls_total",
+            "pinned-memory preemption-flag polls performed by CTAs",
+        )
+        self.m_preempt_req = m.counter(
+            "flep_preemptions_requested_total",
+            "preemption requests issued by the scheduler, by kind",
+            ("kind",),
+        )
+        self.m_preempt_done = m.counter(
+            "flep_preemptions_completed_total",
+            "preemptions that finished (temporal: drained; spatial: "
+            "victim topped back up), by kind",
+            ("kind",),
+        )
+        self.m_drain = m.histogram(
+            "flep_drain_latency_us",
+            "request-to-fully-yielded drain latency of temporal "
+            "preemptions (µs)",
+        )
+        self.m_pred_err = m.histogram(
+            "flep_predictor_abs_error_us",
+            "absolute error |T_e - measured GPU time| of the duration "
+            "predictor at invocation completion (µs)",
+        )
+        self.m_invocations = m.counter(
+            "flep_invocations_total",
+            "kernel invocations intercepted by the runtime",
+        )
+        self.m_finished = m.counter(
+            "flep_invocations_finished_total",
+            "kernel invocations that ran to completion",
+        )
+        self.m_queue_depth = m.gauge(
+            "flep_queue_depth",
+            "invocations waiting in the scheduling policy's queues",
+            ("policy",),
+        )
+        self.m_wait = m.histogram(
+            "flep_invocation_wait_us",
+            "accumulated scheduler wait T_w at completion (µs)",
+            buckets=TURNAROUND_US_BUCKETS,
+        )
+        self.m_turnaround = m.histogram(
+            "flep_invocation_turnaround_us",
+            "arrival-to-completion turnaround (µs)",
+            buckets=TURNAROUND_US_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # simulator / device hooks (hot paths: call only when ``enabled``)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event_kind(label: str) -> str:
+        """Collapse event labels to a bounded-cardinality kind:
+        ``"NN__flep/ctx3/batch" -> "batch"``, ``"launch:NN" -> "launch"``."""
+        if not label:
+            return "unlabelled"
+        return label.rsplit("/", 1)[-1].split(":", 1)[0]
+
+    def sim_event(self, label: str) -> None:
+        self.m_sim_events.inc(kind=self._event_kind(label))
+
+    def kernel_launched(self, kernel_name: str) -> None:
+        self.m_launches.inc(kernel=kernel_name)
+
+    def kernel_relaunched(self, reason: str) -> None:
+        self.m_relaunches.inc(reason=reason)
+
+    def hw_queue_depth(self, depth: int) -> None:
+        self.m_hw_queue.set(depth)
+        self.tracer.counter("hw_queue_depth", process="device", grids=depth)
+
+    def sm_admitted(self, sm_id: int, resident: int) -> None:
+        self.m_cta_admissions.inc()
+        self.m_sm_resident.set(resident, sm=str(sm_id))
+        self._resident_ctas += 1
+        self.tracer.counter(
+            "resident_ctas", process="device", ctas=self._resident_ctas
+        )
+
+    def sm_released(self, sm_id: int, resident: int) -> None:
+        self.m_sm_resident.set(resident, sm=str(sm_id))
+        self._resident_ctas -= 1
+        self.tracer.counter(
+            "resident_ctas", process="device", ctas=self._resident_ctas
+        )
+
+    def tasks_pulled(self, n: int) -> None:
+        self.m_task_pulls.inc(n)
+
+    def flag_polled(self, n: int = 1) -> None:
+        if n:
+            self.m_flag_polls.inc(n)
+
+    # ------------------------------------------------------------------
+    # runtime-engine hooks (invocation lifecycle -> spans + metrics)
+    # ------------------------------------------------------------------
+    def _state(self, inv_id: int) -> Dict[str, Span]:
+        return self._inv_spans.setdefault(inv_id, {})
+
+    def inv_arrived(self, inv) -> None:
+        self.m_invocations.inc()
+        state = self._state(inv.inv_id)
+        label = f"{inv.kspec.name}[{inv.inp.name}]"
+        self.tracer.name_track(
+            inv.process, inv.inv_id, f"inv#{inv.inv_id} {label}"
+        )
+        state["inv"] = self.tracer.begin(
+            label,
+            cat="invocation",
+            process=inv.process,
+            track=inv.inv_id,
+            priority=inv.priority,
+            predicted_us=inv.record.predicted_us,
+        )
+        state["seg"] = self.tracer.begin(
+            "wait", cat="segment", process=inv.process, track=inv.inv_id
+        )
+
+    def inv_scheduled(self, inv, resumed: bool) -> None:
+        state = self._state(inv.inv_id)
+        self._end_segment(state)
+        name = "resume" if resumed else "execute"
+        state["seg"] = self.tracer.begin(
+            name, cat="segment", process=inv.process, track=inv.inv_id
+        )
+        if resumed:
+            self.kernel_relaunched("resume")
+
+    def inv_preempt_requested(self, inv, kind: str, yield_sms: int) -> None:
+        self.m_preempt_req.inc(kind=kind)
+        self.tracer.instant(
+            f"preempt_{kind}",
+            cat="preempt",
+            process=inv.process,
+            track=inv.inv_id,
+            yield_sms=yield_sms,
+        )
+        state = self._state(inv.inv_id)
+        if kind == "temporal":
+            if "drain" not in state:
+                state["drain"] = self.tracer.begin(
+                    "drain",
+                    cat="preempt",
+                    process=inv.process,
+                    track=inv.inv_id,
+                    yield_sms=yield_sms,
+                )
+        elif "spatial" not in state:
+            state["spatial"] = self.tracer.begin(
+                "spatial_yield",
+                cat="preempt",
+                process=inv.process,
+                track=inv.inv_id,
+                yield_sms=yield_sms,
+            )
+
+    def inv_drained(self, inv, latency_us: Optional[float]) -> None:
+        self.m_preempt_done.inc(kind="temporal")
+        if latency_us is not None:
+            self.m_drain.observe(latency_us)
+        state = self._state(inv.inv_id)
+        drain = state.pop("drain", None)
+        if drain is not None:
+            self.tracer.end(drain, latency_us=latency_us)
+        self._end_segment(state)
+        state["seg"] = self.tracer.begin(
+            "wait", cat="segment", process=inv.process, track=inv.inv_id
+        )
+
+    def inv_topped_up(self, inv) -> None:
+        """A spatial guest left; the victim reclaimed its SMs."""
+        self.m_preempt_done.inc(kind="spatial")
+        self.kernel_relaunched("top_up")
+        state = self._state(inv.inv_id)
+        spatial = state.pop("spatial", None)
+        if spatial is not None:
+            self.tracer.end(spatial)
+
+    def inv_finished(self, inv) -> None:
+        self.m_finished.inc()
+        record = inv.record
+        err = abs(record.predicted_us - record.gpu_time_us)
+        self.m_pred_err.observe(err)
+        self.m_wait.observe(record.waited_us)
+        if record.turnaround_us is not None:
+            self.m_turnaround.observe(record.turnaround_us)
+        state = self._inv_spans.pop(inv.inv_id, {})
+        for key in ("drain", "spatial", "seg"):
+            span = state.pop(key, None)
+            if span is not None:
+                self.tracer.end(span)
+        outer = state.pop("inv", None)
+        if outer is not None:
+            self.tracer.end(
+                outer,
+                waited_us=record.waited_us,
+                preemptions=record.preemptions,
+                predictor_abs_error_us=err,
+            )
+
+    def queue_depth(self, policy_name: str, depth: int) -> None:
+        self.m_queue_depth.set(depth, policy=policy_name)
+        self.tracer.counter(
+            "policy_queue_depth", process="scheduler", waiting=depth
+        )
+
+    def _end_segment(self, state: Dict[str, Span]) -> None:
+        seg = state.pop("seg", None)
+        if seg is not None:
+            self.tracer.end(seg)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close any spans left open (end of a run / horizon cut)."""
+        self._inv_spans.clear()
+        self.tracer.close_open()
+
+
+class NullObservability(Observability):
+    """The default recorder: every hook is a no-op.
+
+    It still owns (empty) metrics/tracer objects so accidental access in
+    cold paths never crashes, but nothing is ever recorded.
+    """
+
+    enabled = False
+
+    def sim_event(self, label):  # noqa: D102 - no-op hooks
+        pass
+
+    def kernel_launched(self, kernel_name):
+        pass
+
+    def kernel_relaunched(self, reason):
+        pass
+
+    def hw_queue_depth(self, depth):
+        pass
+
+    def sm_admitted(self, sm_id, resident):
+        pass
+
+    def sm_released(self, sm_id, resident):
+        pass
+
+    def tasks_pulled(self, n):
+        pass
+
+    def flag_polled(self, n=1):
+        pass
+
+    def inv_arrived(self, inv):
+        pass
+
+    def inv_scheduled(self, inv, resumed):
+        pass
+
+    def inv_preempt_requested(self, inv, kind, yield_sms):
+        pass
+
+    def inv_drained(self, inv, latency_us):
+        pass
+
+    def inv_topped_up(self, inv):
+        pass
+
+    def inv_finished(self, inv):
+        pass
+
+    def queue_depth(self, policy_name, depth):
+        pass
+
+    def bind_clock(self, clock):
+        pass
+
+    def finalize(self):
+        pass
+
+
+#: Shared no-op recorder used as the default everywhere.
+NULL_OBS = NullObservability()
+
+# ---------------------------------------------------------------------------
+# process-global hub (how `flep stats` observes whole experiments)
+# ---------------------------------------------------------------------------
+_GLOBAL: Optional[Observability] = None
+
+
+def install_global(hub: Observability) -> Observability:
+    """Make ``hub`` the default recorder for new FlepSystem instances."""
+    global _GLOBAL
+    _GLOBAL = hub
+    return hub
+
+
+def uninstall_global() -> None:
+    """Remove the process-global hub (new systems go back to null)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def get_global() -> Optional[Observability]:
+    """The currently installed process-global hub, if any."""
+    return _GLOBAL
+
+
+@contextmanager
+def observed(hub: Optional[Observability] = None):
+    """Context manager: install a hub globally for the duration.
+
+        with observed() as hub:
+            EXPERIMENTS["fig8"].run()
+        print(hub.metrics.format_summary())
+    """
+    hub = hub if hub is not None else Observability()
+    install_global(hub)
+    try:
+        yield hub
+    finally:
+        uninstall_global()

@@ -24,6 +24,7 @@ from ..gpu.kernel import LaunchConfig, TaskPool
 from ..gpu.memory import PinnedFlag
 from ..gpu.occupancy import active_slots, sms_needed
 from ..gpu.sim import Simulator
+from ..obs.recorder import NULL_OBS, Observability
 from ..workloads.benchmarks import BenchmarkSuite
 from ..workloads.specs import InputSpec, KernelSpec
 from .journal import DecisionJournal, DecisionKind
@@ -145,9 +146,11 @@ class FlepRuntime:
         suite: BenchmarkSuite,
         policy,
         config: Optional[RuntimeConfig] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.gpu = gpu
+        self.obs = obs if obs is not None else NULL_OBS
         self.device: GPUDeviceSpec = gpu.spec
         self.suite = suite
         self.config = config or RuntimeConfig()
@@ -197,6 +200,8 @@ class FlepRuntime:
             self.sim.now, DecisionKind.ARRIVAL, inv,
             detail=f"prio={priority}, T_e={predicted:.0f}us",
         )
+        if self.obs.enabled:
+            self.obs.inv_arrived(inv)
         if self.memory_governor is not None:
             from ..workloads.footprints import footprint_bytes
 
@@ -207,6 +212,8 @@ class FlepRuntime:
             )
         else:
             self.policy.on_kernel_arrival(inv)
+        if self.obs.enabled:
+            self.obs.queue_depth(self.policy.name, self.policy.waiting_count())
         return inv
 
     # ------------------------------------------------------------------
@@ -228,6 +235,8 @@ class FlepRuntime:
         self.journal.record(
             self.sim.now, kind, inv, detail=f"ctas={grid_ctas}"
         )
+        if self.obs.enabled:
+            self.obs.inv_scheduled(inv, resumed=kind is DecisionKind.RESUME)
         if self.running is None:
             self.running = inv
             self._launch_grid(inv, grid_ctas)
@@ -259,6 +268,8 @@ class FlepRuntime:
             self.journal.record(
                 self.sim.now, DecisionKind.PREEMPT_TEMPORAL, inv
             )
+            if self.obs.enabled:
+                self.obs.inv_preempt_requested(inv, "temporal", value)
             # Update the engine's view *before* the flag write: a grid
             # with no hosted contexts drains synchronously inside
             # host_write, and the policy's drained-handler must already
@@ -272,6 +283,8 @@ class FlepRuntime:
                 self.sim.now, DecisionKind.PREEMPT_SPATIAL, inv,
                 detail=f"yield_sms={value}",
             )
+            if self.obs.enabled:
+                self.obs.inv_preempt_requested(inv, "spatial", value)
             inv.yielded_sms = value
             inv.flag.host_write(value)
             # spatially preempted: stays RUNNING on the remaining SMs
@@ -321,6 +334,8 @@ class FlepRuntime:
         self._refresh_all()
         inv.record.mark_finished(self.sim.now)
         self.journal.record(self.sim.now, DecisionKind.COMPLETE, inv)
+        if self.obs.enabled:
+            self.obs.inv_finished(inv)
         if self.running is inv:
             self.running = None
             self._promote_guest()
@@ -333,6 +348,8 @@ class FlepRuntime:
         # next kernel); only then does the host process observe S3 -> S1
         # and possibly re-invoke (loop_forever programs)
         self.policy.on_kernel_finished(inv)
+        if self.obs.enabled:
+            self.obs.queue_depth(self.policy.name, self.policy.waiting_count())
         if self.memory_governor is not None:
             # freeing the working set may admit parked invocations,
             # which then reach the policy as fresh arrivals
@@ -353,6 +370,8 @@ class FlepRuntime:
                 self.sim.now, DecisionKind.DRAINED, inv,
                 detail=f"T_r={inv.record.remaining_us:.0f}us",
             )
+            if self.obs.enabled:
+                self.obs.inv_drained(inv, grid.preemption_latency_us)
             self.policy.on_preemption_drained(inv)
 
     def _promote_guest(self) -> None:
@@ -366,6 +385,8 @@ class FlepRuntime:
         relaunch workers to refill the freed SMs."""
         victim.flag.clear()
         victim.yielded_sms = 0
+        if self.obs.enabled:
+            self.obs.inv_topped_up(victim)
         slots = active_slots(self.device, victim.kspec.resources)
         missing = min(
             victim.pool.remaining, slots - victim.active_contexts

@@ -87,12 +87,34 @@ class DecisionJournal:
         ]
 
     def format(
-        self, predicate: Optional[Callable[[DecisionEvent], bool]] = None
+        self,
+        predicate: Optional[Callable[[DecisionEvent], bool]] = None,
+        kind: Optional[DecisionKind] = None,
+        process: Optional[str] = None,
     ) -> str:
+        """Render the journal, optionally filtered.
+
+        ``kind`` keeps only events of that :class:`DecisionKind`;
+        ``process`` keeps only events of that process. Both compose with
+        each other and with an arbitrary ``predicate`` (logical AND).
+        """
         events: Iterable[DecisionEvent] = self.events
+        if kind is not None:
+            events = (e for e in events if e.kind is kind)
+        if process is not None:
+            events = (e for e in events if e.process == process)
         if predicate is not None:
             events = filter(predicate, events)
         return "\n".join(str(e) for e in events)
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+def format_journal(
+    journal: DecisionJournal,
+    kind: Optional[DecisionKind] = None,
+    process: Optional[str] = None,
+) -> str:
+    """Module-level convenience wrapper around :meth:`DecisionJournal.format`."""
+    return journal.format(kind=kind, process=process)

@@ -24,6 +24,29 @@ class TestInterval:
         with pytest.raises(SimulationError):
             Interval(0, 10.0, 5.0, "k")
 
+    def test_overlap_window_is_half_open(self):
+        """[t0, t1): boundary-touching intervals contribute nothing, so
+        adjacent windows tile a timeline without double-counting."""
+        iv = Interval(0, 10.0, 30.0, "k")
+        assert iv.overlaps(30.0, 40.0) == 0.0   # starts exactly at end
+        assert iv.overlaps(0.0, 10.0) == 0.0    # ends exactly at start
+        # tiling windows recover the full duration exactly once
+        total = sum(
+            iv.overlaps(t, t + 10.0) for t in (0.0, 10.0, 20.0, 30.0)
+        )
+        assert total == iv.duration_us
+
+    def test_overlap_zero_length_interval(self):
+        point = Interval(0, 20.0, 20.0, "k")
+        assert point.duration_us == 0.0
+        assert point.overlaps(10.0, 30.0) == 0.0
+        assert point.overlaps(20.0, 20.0) == 0.0
+
+    def test_overlap_never_negative(self):
+        iv = Interval(0, 10.0, 30.0, "k")
+        assert iv.overlaps(50.0, 40.0) == 0.0   # inverted window
+        assert iv.overlaps(15.0, 15.0) == 0.0   # empty window inside
+
 
 class TestTimelineRecording:
     def _run_one(self, make_kernel, tasks=8):

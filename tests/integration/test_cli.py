@@ -1,5 +1,7 @@
 """CLI tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -36,6 +38,33 @@ class TestCLI:
         assert main(["tune", "CFD"]) == 0
         out = capsys.readouterr().out
         assert "chosen L = 1" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig7", "--json"]) == 0
+        out = capsys.readouterr().out
+        reports = json.loads(out)
+        assert [r["experiment_id"] for r in reports] == ["fig7"]
+        assert reports[0]["rows"]
+        assert "title" in reports[0] and "headline" in reports[0]
+
+    def test_stats_summary(self, capsys):
+        assert main(["stats", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "flep_invocations_total (counter):" in out
+        assert "flep_kernel_launches_total" in out
+        assert "flep_preemptions_requested_total" in out
+
+    def test_stats_prometheus_to_file(self, tmp_path, capsys):
+        from repro.obs.metrics import parse_prometheus
+
+        path = tmp_path / "metrics.prom"
+        assert main(["stats", "fig9", "--prometheus", "-o", str(path)]) == 0
+        parsed = parse_prometheus(path.read_text())
+        assert parsed[("flep_invocations_total", ())] > 0
+
+    def test_stats_unknown_experiment(self, capsys):
+        assert main(["stats", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

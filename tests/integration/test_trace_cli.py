@@ -60,3 +60,20 @@ class TestTraceCLI:
         out = capsys.readouterr().out
         assert "preempt_temporal" in out
         assert "resume" in out
+
+    def test_trace_export_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(["trace", "--export", str(path)])
+        assert rc == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in xs}
+        # one complete invocation span per invocation, with the
+        # preempt/drain and resume sub-spans of the temporal story
+        assert any(n.startswith("NN[") for n in names)
+        assert any(n.startswith("SPMV[") for n in names)
+        assert {"drain", "resume", "wait", "execute"} <= names
+        assert all("ts" in e and "dur" in e for e in xs)

@@ -1,0 +1,212 @@
+"""Metrics-registry tests: families, labels, export round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_US_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total", "reqs")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total == 3.5
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("preempts_total", "p", ("kind",))
+        c.inc(kind="temporal")
+        c.inc(3, kind="spatial")
+        assert c.value(kind="temporal") == 1
+        assert c.value(kind="spatial") == 3
+        assert c.total == 4
+
+    def test_cannot_decrease(self):
+        c = Counter("x_total", "")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("x_total", "", ("kind",))
+        with pytest.raises(MetricsError):
+            c.inc()  # missing label
+        with pytest.raises(MetricsError):
+            c.inc(kind="a", extra="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_labelled(self):
+        g = Gauge("resident", "", ("sm",))
+        g.set(2, sm="0")
+        g.set(1, sm="1")
+        assert g.value(sm="0") == 2
+        assert g.value(sm="1") == 1
+
+
+class TestHistogram:
+    def test_observe_count_sum_mean(self):
+        h = Histogram("lat_us", "", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 555.0
+        assert h.mean() == pytest.approx(185.0)
+
+    def test_bucket_assignment_is_le(self):
+        h = Histogram("lat_us", "", buckets=(10.0, 100.0))
+        h.observe(10.0)   # boundary lands in the <=10 bucket
+        h.observe(10.1)
+        h.observe(1000.0)  # +Inf
+        d = h.as_dict()["values"][0]
+        assert d["bucket_counts"] == [1, 1, 1]
+
+    def test_quantile_bucket_resolution(self):
+        h = Histogram("lat_us", "", buckets=(10.0, 100.0, 1000.0))
+        for _ in range(9):
+            h.observe(5.0)
+        h.observe(500.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == 1000.0
+        assert Histogram("e", "", buckets=(1.0,)).quantile(0.5) == 0.0
+        with pytest.raises(MetricsError):
+            h.quantile(1.5)
+
+    def test_default_buckets_span_preemption_scales(self):
+        h = Histogram("drain_us", "")
+        assert h.buckets == DEFAULT_US_BUCKETS
+        assert h.buckets[0] == 10.0 and h.buckets[-1] == 25_000.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("h", "", buckets=(10.0, 5.0))
+        with pytest.raises(MetricsError):
+            Histogram("h", "", buckets=(10.0, 10.0))
+        with pytest.raises(MetricsError):
+            Histogram("h", "", buckets=(10.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricsError):
+            reg.gauge("x_total")
+
+    def test_label_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", label_names=("kind",))
+        with pytest.raises(MetricsError):
+            reg.counter("x_total", label_names=("other",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("bad name")
+        with pytest.raises(MetricsError):
+            reg.counter("ok_total", label_names=("bad-label",))
+
+    def test_get_and_contains(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth")
+        assert "depth" in reg
+        assert reg.get("depth").kind == "gauge"
+        with pytest.raises(MetricsError):
+            reg.get("missing")
+
+    def test_reset_keeps_catalog(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        h = reg.histogram("h_us")
+        c.inc(5)
+        h.observe(1.0)
+        reg.reset()
+        assert "x_total" in reg and "h_us" in reg
+        assert c.total == 0
+        assert h.count() == 0
+
+    def test_error_alias_is_repro_error(self):
+        assert MetricsError is ObservabilityError
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("flep_preempts_total", "preemptions", ("kind",))
+    c.inc(3, kind="temporal")
+    c.inc(1, kind="spatial")
+    g = reg.gauge("flep_queue_depth", "waiting kernels")
+    g.set(2)
+    h = reg.histogram("flep_drain_us", "drain latency", buckets=(10.0, 100.0))
+    h.observe(5.0)
+    h.observe(50.0)
+    h.observe(5000.0)
+    return reg
+
+
+class TestExport:
+    def test_as_dict_and_json(self):
+        reg = _populated_registry()
+        d = reg.as_dict()
+        assert d["flep_preempts_total"]["kind"] == "counter"
+        assert json.loads(reg.to_json()) == json.loads(reg.to_json())
+
+    def test_prometheus_has_help_type_and_samples(self):
+        text = _populated_registry().render_prometheus()
+        assert "# HELP flep_preempts_total preemptions" in text
+        assert "# TYPE flep_preempts_total counter" in text
+        assert 'flep_preempts_total{kind="temporal"} 3' in text
+        assert "flep_queue_depth 2" in text
+        # histogram expands to cumulative buckets + sum + count
+        assert 'flep_drain_us_bucket{le="10"} 1' in text
+        assert 'flep_drain_us_bucket{le="100"} 2' in text
+        assert 'flep_drain_us_bucket{le="+Inf"} 3' in text
+        assert "flep_drain_us_count 3" in text
+
+    def test_prometheus_round_trip(self):
+        reg = _populated_registry()
+        parsed = parse_prometheus(reg.render_prometheus())
+        assert parsed[("flep_preempts_total", (("kind", "temporal"),))] == 3
+        assert parsed[("flep_preempts_total", (("kind", "spatial"),))] == 1
+        assert parsed[("flep_queue_depth", ())] == 2
+        assert parsed[("flep_drain_us_bucket", (("le", "+Inf"),))] == 3
+        assert parsed[("flep_drain_us_sum", ())] == pytest.approx(5055.0)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(MetricsError):
+            parse_prometheus("this is not { prometheus\n")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", label_names=("k",)).inc(k='a"b\\c')
+        text = reg.render_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed[("x_total", (("k", 'a"b\\c'),))] == 1
+
+    def test_format_summary_readable(self):
+        text = _populated_registry().format_summary()
+        assert "flep_preempts_total{kind=temporal} (counter): 3" in text
+        assert "flep_drain_us (histogram): count=3" in text

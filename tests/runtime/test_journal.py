@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.flep import FlepSystem
 from repro.runtime.engine import RuntimeConfig
-from repro.runtime.journal import DecisionJournal, DecisionKind
+from repro.runtime.journal import DecisionJournal, DecisionKind, format_journal
 
 
 def run_priority_pair(suite):
@@ -73,6 +73,39 @@ class TestJournalContents:
             lambda e: e.kind is DecisionKind.COMPLETE
         )
         assert filtered.count("complete") == 2
+
+    def test_format_kind_filter(self, suite):
+        journal = run_priority_pair(suite)
+        text = journal.format(kind=DecisionKind.COMPLETE)
+        assert text.count("complete") == 2
+        assert "arrival" not in text
+
+    def test_format_process_filter(self, suite):
+        journal = run_priority_pair(suite)
+        text = journal.format(process="high")
+        assert "SPMV@high" in text
+        assert "@low" not in text
+
+    def test_format_filters_compose(self, suite):
+        journal = run_priority_pair(suite)
+        text = journal.format(
+            kind=DecisionKind.COMPLETE,
+            process="low",
+            predicate=lambda e: e.at_us >= 0,
+        )
+        assert text.count("complete") == 1
+        assert "NN@low" in text
+        # an impossible combination filters everything out
+        assert journal.format(
+            kind=DecisionKind.PREEMPT_SPATIAL, process="low"
+        ) == ""
+
+    def test_module_level_format_journal(self, suite):
+        journal = run_priority_pair(suite)
+        assert format_journal(journal) == journal.format()
+        assert format_journal(
+            journal, kind=DecisionKind.RESUME, process="low"
+        ).count("resume") == 1
 
     def test_preemptions_helper(self, suite):
         journal = run_priority_pair(suite)

@@ -43,6 +43,27 @@ class TestProfiled:
         assert a == b
 
 
+class TestAnalyticMatchesProfiled:
+    """The documented accuracy contract: the closed form stays within
+    20 % relative error of the profiled mean (see
+    ``analytic_preemption_overhead``'s docstring)."""
+
+    TOLERANCE = 0.20
+
+    @pytest.mark.parametrize("kernel,L", [("NN", 100), ("SPMV", 2)])
+    def test_within_documented_tolerance(self, suite, kernel, L):
+        kspec = suite[kernel]
+        analytic = analytic_preemption_overhead(kspec, L, suite.device)
+        profiled = profile_preemption_overhead(
+            kspec, L, suite.device, runs=30
+        )["overhead_us"]
+        rel_err = abs(analytic - profiled) / profiled
+        assert rel_err <= self.TOLERANCE, (
+            f"{kernel}: analytic={analytic:.1f}us profiled={profiled:.1f}us "
+            f"rel_err={rel_err:.3f} > {self.TOLERANCE}"
+        )
+
+
 class TestEstimates:
     def test_covers_all_benchmarks(self, suite):
         est = OverheadEstimates(suite)

@@ -38,13 +38,20 @@ True
 """
 
 from .core.flep import CoRunResult, FlepSystem
-from .core.policies import FFSPolicy, FIFOPolicy, HPFPolicy, ReorderPolicy
+from .core.policies import (
+    EDFPolicy,
+    FFSPolicy,
+    FIFOPolicy,
+    HPFPolicy,
+    ReorderPolicy,
+)
 from .errors import (
     CompilationError,
     ExperimentError,
     ParseError,
     ReproError,
     RuntimeEngineError,
+    ServingError,
     SimulationError,
     TransformError,
     WorkloadError,
@@ -58,6 +65,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CoRunResult",
     "FlepSystem",
+    "EDFPolicy",
     "FFSPolicy",
     "FIFOPolicy",
     "HPFPolicy",
@@ -67,6 +75,7 @@ __all__ = [
     "ParseError",
     "ReproError",
     "RuntimeEngineError",
+    "ServingError",
     "SimulationError",
     "TransformError",
     "WorkloadError",

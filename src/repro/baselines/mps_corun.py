@@ -10,7 +10,7 @@ Figures 1, 8, 10, 11, 12 normalize against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ExperimentError
 from ..gpu.device import GPUDeviceSpec, tesla_k40
@@ -87,14 +87,26 @@ class MPSCoRun:
         return self._streams[process]
 
     def submit_at(
-        self, at_us: float, process: str, kernel: str, input_name: str
+        self,
+        at_us: float,
+        process: str,
+        kernel: str,
+        input_name: str,
+        on_done: Optional[Callable[[], None]] = None,
     ) -> BaselineInvocation:
-        """One kernel invocation arriving at ``at_us``."""
+        """One kernel invocation arriving at ``at_us``. ``on_done`` (if
+        given) fires when the grid completes — how the serving layer
+        observes per-request completions on the baseline."""
         kspec = self.suite[kernel]
         inp = kspec.input(input_name)
         image = kspec.original_image(inp, with_jitter=self.with_jitter)
         inv = BaselineInvocation(process, kernel, input_name, at_us)
         self._invocations.append(inv)
+
+        def _completed(_grid):
+            inv.finished_at = self.sim.now
+            if on_done is not None:
+                on_done()
 
         def _enqueue():
             inv.arrived_at = self.sim.now
@@ -104,7 +116,7 @@ class MPSCoRun:
                 LaunchConfig.original(inp.tasks),
                 tag={"process": process},
                 on_grid=lambda g: setattr(inv, "grid", g),
-                on_done=lambda g: setattr(inv, "finished_at", self.sim.now),
+                on_done=_completed,
             )
 
         if at_us <= self.sim.now:

@@ -7,6 +7,7 @@
     flep tune NN                   # run the offline amortizing-factor tuner
     flep trace --export out.json   # co-run + Chrome/Perfetto trace export
     flep stats fig8 --prometheus   # metrics from an observed experiment run
+    flep serve --rate 0.4          # multi-tenant serving + per-tenant SLO report
 """
 
 from __future__ import annotations
@@ -142,6 +143,65 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from .obs import Observability
+    from .serving import (
+        PoissonLoadGen,
+        ServingConfig,
+        ServingSystem,
+        Tenant,
+        TenantSet,
+    )
+
+    modes = [args.mode] if args.mode != "all" else [
+        "mps", "flep-temporal", "flep-spatial"
+    ]
+    admission = {"auto": None, "on": True, "off": False}[args.admission]
+    as_json = []
+    hub = Observability()
+    for mode in modes:
+        tenants = TenantSet([
+            Tenant("batch", priority=0),
+            Tenant(
+                "interactive", priority=1, slo_us=args.slo,
+                rate_limit_rps=args.rate_limit,
+            ),
+        ])
+        server = ServingSystem(
+            tenants,
+            ServingConfig(
+                mode=mode, policy=args.policy, admission=admission,
+                seed=args.seed,
+            ),
+            observability=hub,
+        )
+        server.submit_at(0.0, "batch", args.batch, "large")
+        server.add_generator(PoissonLoadGen(
+            tenant="interactive",
+            kernels=args.kernels.split(","),
+            rate_per_ms=args.rate,
+            duration_ms=args.duration,
+            seed=args.seed,
+            input_names=(args.input,),
+            priority=1,
+        ))
+        report = server.run()
+        if args.json:
+            as_json.append({"mode": mode, **report.as_dict()})
+        else:
+            print(f"=== {mode} (policy={args.policy}, "
+                  f"admission={'on' if server.config.admission_enabled else 'off'}) ===")
+            print(report.format())
+            print()
+    if args.json:
+        print(_json.dumps(as_json, indent=2, default=str))
+    if args.prometheus:
+        print(hub.metrics.render_prometheus())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments.summary import write_report
 
@@ -215,6 +275,42 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("experiments", nargs="*",
                        help="subset of experiment ids (default: all)")
     rep_p.set_defaults(fn=_cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant serving scenario and print the "
+             "per-tenant SLO report",
+    )
+    serve_p.add_argument("--mode", default="all",
+                         choices=["all", "mps", "flep-temporal",
+                                  "flep-spatial"],
+                         help="execution mode(s) to serve under")
+    serve_p.add_argument("--policy", default="edf",
+                         help="FLEP scheduling policy (default: edf)")
+    serve_p.add_argument("--rate", type=float, default=0.2,
+                         help="interactive Poisson rate, queries/ms")
+    serve_p.add_argument("--duration", type=float, default=25.0,
+                         help="offered-load horizon in ms")
+    serve_p.add_argument("--slo", type=float, default=2000.0,
+                         help="interactive tenant SLO target in µs")
+    serve_p.add_argument("--rate-limit", type=float, default=None,
+                         help="interactive token-bucket limit, requests/s")
+    serve_p.add_argument("--batch", default="VA",
+                         help="batch tenant's kernel (large input)")
+    serve_p.add_argument("--kernels", default="SPMV,MM,PL",
+                         help="comma-separated interactive query kernels")
+    serve_p.add_argument("--input", default="trivial",
+                         help="interactive query input size")
+    serve_p.add_argument("--seed", type=int, default=7)
+    serve_p.add_argument("--admission", default="auto",
+                         choices=["auto", "on", "off"],
+                         help="admission control (auto: on for FLEP modes)")
+    serve_p.add_argument("--json", action="store_true",
+                         help="emit the SLO reports as JSON")
+    serve_p.add_argument("--prometheus", action="store_true",
+                         help="also dump the serving metrics in Prometheus "
+                              "text format")
+    serve_p.set_defaults(fn=_cmd_serve)
 
     trace_p = sub.add_parser(
         "trace",

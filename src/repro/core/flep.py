@@ -114,13 +114,20 @@ class FlepSystem:
         kernel: str,
         input_name: str = "large",
         priority: int = 0,
+        tenant: str = "default",
+        deadline_us: Optional[float] = None,
+        on_finished=None,
     ) -> None:
         """Schedule one kernel invocation to arrive at ``at_us``."""
         if at_us < self.sim.now:
             raise ExperimentError(f"cannot submit in the past ({at_us})")
         self.sim.schedule_at(
             at_us,
-            lambda: self.runtime.submit(process, kernel, input_name, priority),
+            lambda: self.runtime.submit(
+                process, kernel, input_name, priority,
+                on_finished=on_finished, tenant=tenant,
+                deadline_us=deadline_us,
+            ),
             label=f"submit:{process}:{kernel}",
         )
 

@@ -1,7 +1,9 @@
-"""FLEP scheduling policies: HPF and FFS (the paper's two), plus FIFO
-and kernel-reordering controls used by the evaluation."""
+"""FLEP scheduling policies: HPF and FFS (the paper's two), EDF-within-
+priority (the serving layer's deadline-aware policy), plus FIFO and
+kernel-reordering controls used by the evaluation."""
 
 from .base import SchedulingPolicy
+from .edf import EDFPolicy
 from .ffs import FFSPolicy
 from .fifo import FIFOPolicy
 from .hpf import HPFPolicy
@@ -12,10 +14,12 @@ POLICIES = {
     "ffs": FFSPolicy,
     "fifo": FIFOPolicy,
     "reorder": ReorderPolicy,
+    "edf": EDFPolicy,
 }
 
 __all__ = [
     "SchedulingPolicy",
+    "EDFPolicy",
     "FFSPolicy",
     "FIFOPolicy",
     "HPFPolicy",

@@ -67,5 +67,9 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class ServingError(ReproError):
+    """The multi-tenant serving layer was misconfigured or misused."""
+
+
 class ObservabilityError(ReproError):
     """Invalid metric/span registration, observation, or export."""

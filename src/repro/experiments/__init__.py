@@ -17,6 +17,7 @@ from . import (
     fig15,
     fig16,
     fig17,
+    serving,
     table1,
     variance,
 )
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     # extensions beyond the paper's figures (DESIGN.md §7)
     "ffs3": ffs3,
     "variance": variance,
+    "serving": serving,
 }
 
 __all__ = [

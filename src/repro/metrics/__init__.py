@@ -1,5 +1,5 @@
 """Multiprogram metrics: ANTT, STP, slowdown, GPU share, degradation,
-and weighted-fairness indices."""
+weighted-fairness indices, and shared order statistics."""
 
 from .fairness import (
     jain_index,
@@ -7,6 +7,7 @@ from .fairness import (
     weighted_jain_index,
     weighted_targets,
 )
+from .stats import percentile, percentiles
 from .multiprogram import (
     ShareSample,
     antt,
@@ -31,6 +32,8 @@ __all__ = [
     "gpu_shares",
     "mean_share",
     "ntt",
+    "percentile",
+    "percentiles",
     "slowdown",
     "stp",
     "stp_degradation",

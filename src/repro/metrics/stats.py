@@ -1,0 +1,47 @@
+"""Shared order statistics.
+
+One :func:`percentile` implementation (linear interpolation between
+closest ranks, numpy's default method) used by the serving layer's SLO
+accounting and the examples, instead of ad-hoc index arithmetic at each
+call site.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ExperimentError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (``0 <= q <= 100``) of ``values``.
+
+    Linear interpolation between the two closest ranks: for sorted
+    ``v[0..n-1]``, the rank is ``r = q/100 * (n-1)`` and the result is
+    ``v[floor(r)] + frac(r) * (v[floor(r)+1] - v[floor(r)])`` — matching
+    ``numpy.percentile``'s default. Raises on an empty sequence or a
+    ``q`` outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile q={q} outside [0, 100]")
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ExperimentError("percentile of an empty sequence")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if lo + 1 >= len(data):
+        return data[-1]
+    return data[lo] + frac * (data[lo + 1] - data[lo])
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> List[float]:
+    """Several percentiles of one (internally sorted once) sample."""
+    if not values:
+        raise ExperimentError("percentiles of an empty sequence")
+    data = sorted(float(v) for v in values)
+    return [percentile(data, q) for q in qs]

@@ -68,6 +68,8 @@ class KernelInvocation:
         inp: InputSpec,
         priority: int,
         predicted_us: float,
+        tenant: str = "default",
+        deadline_us: Optional[float] = None,
     ):
         self.inv_id = KernelInvocation._next_id
         KernelInvocation._next_id += 1
@@ -76,6 +78,9 @@ class KernelInvocation:
         self.kspec = kspec
         self.inp = inp
         self.priority = priority
+        self.tenant = tenant
+        #: Absolute completion deadline (simulation µs); None = best-effort.
+        self.deadline_us = deadline_us
         self.record = ExecutionRecord(
             predicted_us=predicted_us, arrived_at=engine.sim.now
         )
@@ -187,18 +192,30 @@ class FlepRuntime:
         priority: int = 0,
         inp: Optional[InputSpec] = None,
         on_finished: Optional[Callable[[KernelInvocation], None]] = None,
+        tenant: str = "default",
+        deadline_us: Optional[float] = None,
     ) -> KernelInvocation:
-        """Intercept one kernel invocation and hand it to the policy."""
+        """Intercept one kernel invocation and hand it to the policy.
+
+        ``tenant`` names the submitting client of the serving layer;
+        ``deadline_us`` is an absolute completion deadline that
+        deadline-aware policies (EDF) use to order same-priority work.
+        """
         kspec = self.suite[kernel]
         inp = inp if inp is not None else kspec.input(input_name)
         predicted = self.models.predict(kernel, inp)
-        inv = KernelInvocation(self, process, kspec, inp, priority, predicted)
+        inv = KernelInvocation(
+            self, process, kspec, inp, priority, predicted,
+            tenant=tenant, deadline_us=deadline_us,
+        )
         inv.on_finished = on_finished
         self.invocations.append(inv)
         self._refresh_all()
+        detail = f"prio={priority}, T_e={predicted:.0f}us"
+        if deadline_us is not None:
+            detail += f", deadline={deadline_us:.0f}us"
         self.journal.record(
-            self.sim.now, DecisionKind.ARRIVAL, inv,
-            detail=f"prio={priority}, T_e={predicted:.0f}us",
+            self.sim.now, DecisionKind.ARRIVAL, inv, detail=detail,
         )
         if self.obs.enabled:
             self.obs.inv_arrived(inv)

@@ -1,0 +1,136 @@
+"""SLO-aware admission control.
+
+The controller answers one question per arriving request: given the
+runtime's per-kernel duration prediction and the backlog of work already
+admitted ahead of this request, can it still finish inside its tenant's
+SLO budget?
+
+* predicted finish ``now + backlog + predicted`` within ``now + slo``
+  → **accept**;
+* overshoot, but by no more than ``delay_headroom × slo``
+  → **delay**: the request is still served (degraded), held back by the
+  overshoot so it does not pile onto the queue it cannot beat;
+* overshoot beyond the headroom → **shed**: rejecting now is cheaper
+  for everyone than serving a guaranteed-late answer (Hummingbird's
+  load-shedding argument).
+
+Best-effort tenants (no SLO) are always accepted. A tenant with a
+token-bucket rate limit is clipped *before* the SLO test; those sheds
+are reported with their own reason so rate-limit drops and overload
+drops stay distinguishable in the SLO report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ServingError
+from .tenants import Tenant, TenantSet
+
+
+class Decision(enum.Enum):
+    """What the admission controller does with one arriving request."""
+
+    ACCEPT = "accept"
+    DELAY = "delay"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One admission decision, with the numbers that produced it."""
+
+    decision: Decision
+    reason: str
+    #: How long a DELAYed request is held before submission (µs).
+    hold_us: float = 0.0
+    #: Predicted absolute completion time used for the decision (µs).
+    predicted_finish_us: float = 0.0
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision is not Decision.SHED
+
+
+class TokenBucket:
+    """Deterministic token bucket on the simulation clock."""
+
+    def __init__(self, rate_rps: float, burst: int):
+        if rate_rps <= 0 or burst < 1:
+            raise ServingError("token bucket needs rate > 0 and burst >= 1")
+        self.rate_rps = rate_rps
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_us = 0.0
+
+    def try_take(self, now_us: float) -> bool:
+        elapsed_us = max(0.0, now_us - self._last_us)
+        self._last_us = now_us
+        self.tokens = min(
+            self.burst, self.tokens + elapsed_us * self.rate_rps / 1e6
+        )
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Accept / delay / shed against each tenant's SLO budget."""
+
+    def __init__(self, tenants: TenantSet, delay_headroom: float = 0.5):
+        if delay_headroom < 0:
+            raise ServingError("delay_headroom must be non-negative")
+        self.tenants = tenants
+        self.delay_headroom = delay_headroom
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_limit_rps, t.burst)
+            for t in tenants
+            if t.rate_limit_rps is not None
+        }
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        tenant: Tenant,
+        now_us: float,
+        predicted_us: float,
+        backlog_us: float,
+    ) -> Verdict:
+        """Decide one request given the current predicted backlog.
+
+        ``backlog_us`` is the predicted execution time of every admitted,
+        unfinished request that will be served at or above this tenant's
+        priority (under MPS: everything — nothing jumps the FIFO).
+        """
+        if predicted_us < 0 or backlog_us < 0:
+            raise ServingError("predictions and backlog must be >= 0")
+        bucket = self._buckets.get(tenant.name)
+        if bucket is not None and not bucket.try_take(now_us):
+            return Verdict(
+                Decision.SHED, "rate_limit",
+                predicted_finish_us=now_us,
+            )
+        finish = now_us + backlog_us + predicted_us
+        if tenant.slo_us is None:
+            return Verdict(
+                Decision.ACCEPT, "best_effort", predicted_finish_us=finish
+            )
+        budget_end = now_us + tenant.slo_us
+        if finish <= budget_end:
+            return Verdict(
+                Decision.ACCEPT, "within_slo", predicted_finish_us=finish
+            )
+        overshoot = finish - budget_end
+        if overshoot <= self.delay_headroom * tenant.slo_us:
+            return Verdict(
+                Decision.DELAY,
+                "slo_overshoot",
+                hold_us=overshoot,
+                predicted_finish_us=finish,
+            )
+        return Verdict(
+            Decision.SHED, "predicted_slo_miss", predicted_finish_us=finish
+        )

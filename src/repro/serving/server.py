@@ -1,0 +1,352 @@
+"""The online multi-tenant GPU service.
+
+:class:`ServingSystem` turns the FLEP stack into a server: tenants
+(:mod:`.tenants`) send requests through load generators or explicit
+submissions; every arrival passes the SLO-aware admission controller
+(:mod:`.admission`); admitted requests are stamped with the tenant's
+priority and absolute deadline and handed to the runtime — so deadline
+urgency drives FLEP's temporal/spatial preemption via the EDF policy —
+and every outcome lands in the :class:`~repro.serving.slo.SLOTracker`.
+
+Three execution modes share the one front-end:
+
+* ``"mps"`` — the paper's baseline: untransformed kernels behind the
+  non-preemptive hardware FIFO (no admission by default — plain MPS has
+  no duration predictions to budget with);
+* ``"flep-temporal"`` — FLEP with whole-GPU yields only;
+* ``"flep-spatial"`` — full FLEP: guests take just the SMs they need.
+
+Backlog accounting matches the mechanics: under FLEP, a request at
+priority *p* only waits for admitted work at priority ≥ *p* (lower
+priority work gets preempted); under MPS everything queues FIFO, so the
+whole backlog counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..baselines.mps_corun import MPSCoRun
+from ..core.flep import FlepSystem
+from ..errors import ServingError
+from ..gpu.device import GPUDeviceSpec
+from ..obs.recorder import NULL_OBS, Observability, get_global
+from ..runtime.engine import RuntimeConfig
+from ..workloads.benchmarks import BenchmarkSuite
+from ..workloads.synthetic import Arrival, ArrivalTrace
+from .admission import AdmissionController, Decision
+from .loadgen import ClosedLoopClient, LoadGenerator, merge_traces
+from .slo import ServingReport, SLOTracker
+from .tenants import Tenant, TenantSet
+
+MODES = ("mps", "flep-temporal", "flep-spatial")
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving layer."""
+
+    mode: str = "flep-spatial"
+    #: Scheduling policy for the FLEP modes (EDF = deadline-aware).
+    policy: str = "edf"
+    #: Admission control on/off; ``None`` picks the mode's default
+    #: (on for FLEP — it has the runtime's predictions — off for MPS).
+    admission: Optional[bool] = None
+    #: DELAY verdicts allowed up to this fraction of the SLO overshoot.
+    delay_headroom: float = 0.5
+    #: Use the oracle duration predictor instead of the ridge models.
+    oracle_model: bool = False
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ServingError(
+                f"unknown serving mode {self.mode!r} (have {MODES})"
+            )
+
+    @property
+    def admission_enabled(self) -> bool:
+        if self.admission is not None:
+            return self.admission
+        return self.mode != "mps"
+
+
+@dataclass
+class _Request:
+    """Server-side bookkeeping for one request."""
+
+    req_id: int
+    tenant: Tenant
+    arrived_us: float
+    kernel: str
+    input_name: str
+    predicted_us: float
+    client: Optional[ClosedLoopClient] = None
+    span: Optional[object] = None
+
+
+class ServingSystem:
+    """One multi-tenant serving run over a FLEP or MPS backend."""
+
+    def __init__(
+        self,
+        tenants: Union[TenantSet, List[Tenant]],
+        config: Optional[ServingConfig] = None,
+        device: Optional[GPUDeviceSpec] = None,
+        suite: Optional[BenchmarkSuite] = None,
+        observability: Union[bool, Observability, None] = None,
+    ):
+        self.tenants = (
+            tenants if isinstance(tenants, TenantSet) else TenantSet(tenants)
+        )
+        self.config = config or ServingConfig()
+        mode = self.config.mode
+        if mode == "mps":
+            self.backend = MPSCoRun(
+                device=device, suite=suite, seed=self.config.seed
+            )
+            self.system: Optional[FlepSystem] = None
+            self.sim = self.backend.sim
+            if isinstance(observability, Observability):
+                self.obs = observability
+            elif observability:
+                self.obs = Observability(clock=lambda: self.sim.now)
+            else:
+                self.obs = get_global() or NULL_OBS
+            if self.obs.enabled:
+                self.obs.bind_clock(lambda: self.sim.now)
+            self._models = None  # built lazily if admission needs it
+        else:
+            self.system = FlepSystem(
+                policy=self.config.policy,
+                device=device,
+                suite=suite,
+                config=RuntimeConfig(
+                    spatial_enabled=(mode == "flep-spatial"),
+                    oracle_model=self.config.oracle_model,
+                ),
+                seed=self.config.seed,
+                observability=observability,
+            )
+            self.backend = self.system
+            self.sim = self.system.sim
+            self.obs = self.system.obs
+        self.admission = AdmissionController(
+            self.tenants, delay_headroom=self.config.delay_headroom
+        )
+        self.tracker = SLOTracker(self.tenants, obs=self.obs)
+        self._next_req_id = 1
+        self._backlog_us: Dict[int, float] = {}
+        self._traces: List[ArrivalTrace] = []
+        self._clients: List[ClosedLoopClient] = []
+        self._client_issued: Dict[int, int] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # workload wiring
+    # ------------------------------------------------------------------
+    def add_trace(self, trace: ArrivalTrace) -> None:
+        """Queue an open-loop arrival trace (tenants must be known)."""
+        for a in trace.arrivals:
+            if a.tenant not in self.tenants:
+                raise ServingError(
+                    f"trace names unknown tenant {a.tenant!r}"
+                )
+        self._traces.append(trace)
+
+    def add_generator(self, gen: LoadGenerator) -> None:
+        self.add_trace(gen.generate())
+
+    def add_closed_loop(self, client: ClosedLoopClient) -> None:
+        if client.tenant not in self.tenants:
+            raise ServingError(f"unknown tenant {client.tenant!r}")
+        self._clients.append(client)
+
+    def submit_at(
+        self, at_us: float, tenant: str, kernel: str,
+        input_name: str = "large",
+    ) -> None:
+        """One explicit request (e.g. the long batch job) at ``at_us``."""
+        self.add_trace(ArrivalTrace(arrivals=[
+            Arrival(at_us=at_us, kernel_name=kernel, input_name=input_name,
+                    tenant=tenant)
+        ]))
+
+    # ------------------------------------------------------------------
+    # predictions and backlog
+    # ------------------------------------------------------------------
+    def predicted_us(self, kernel: str, input_name: str) -> float:
+        if self.system is not None:
+            return self.system.predicted_us(kernel, input_name)
+        if self._models is None:
+            from ..runtime.models import ModelBank, OracleModelBank
+
+            suite = self.backend.suite
+            device = self.backend.device
+            if self.config.oracle_model:
+                self._models = OracleModelBank(suite, device)
+            else:
+                self._models = ModelBank(suite, seed=0, device=device)
+        kspec = self.backend.suite[kernel]
+        return self._models.predict(kernel, kspec.input(input_name))
+
+    def backlog_us(self, priority: int) -> float:
+        """Admitted-but-unfinished predicted work ahead of ``priority``."""
+        if self.config.mode == "mps":
+            return sum(self._backlog_us.values())
+        return sum(
+            us for p, us in self._backlog_us.items() if p >= priority
+        )
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def _on_arrival(
+        self, tenant: Tenant, kernel: str, input_name: str,
+        client: Optional[ClosedLoopClient] = None,
+    ) -> None:
+        now = self.sim.now
+        req = _Request(
+            req_id=self._next_req_id,
+            tenant=tenant,
+            arrived_us=now,
+            kernel=kernel,
+            input_name=input_name,
+            predicted_us=(
+                self.predicted_us(kernel, input_name)
+                if self.config.admission_enabled or self.system is not None
+                else 0.0
+            ),
+            client=client,
+        )
+        self._next_req_id += 1
+        self.tracker.open_request(
+            req.req_id, tenant.name, now, kernel, input_name,
+            req.predicted_us,
+        )
+        if self.obs.enabled:
+            req.span = self.obs.tracer.begin(
+                f"req#{req.req_id} {kernel}[{input_name}]",
+                cat="serving",
+                process=f"tenant:{tenant.name}",
+                track=req.req_id,
+                predicted_us=req.predicted_us,
+            )
+        if not self.config.admission_enabled:
+            self._admit(req)
+            return
+        verdict = self.admission.decide(
+            tenant, now, req.predicted_us, self.backlog_us(tenant.priority)
+        )
+        if verdict.decision is Decision.SHED:
+            self.tracker.mark_shed(
+                req.req_id, rate_limited=(verdict.reason == "rate_limit")
+            )
+            if self.obs.enabled:
+                self.obs.tracer.end(req.span, outcome=verdict.reason)
+                req.span = None
+            self._client_continue(req)
+        elif verdict.decision is Decision.DELAY:
+            self.tracker.mark_delayed(req.req_id)
+            self.sim.schedule(
+                verdict.hold_us, lambda: self._admit(req),
+                label=f"serve-delay:{tenant.name}",
+            )
+        else:
+            self._admit(req)
+
+    def _admit(self, req: _Request) -> None:
+        """Hand an admitted request to the backend."""
+        tenant = req.tenant
+        self._backlog_us[tenant.priority] = (
+            self._backlog_us.get(tenant.priority, 0.0) + req.predicted_us
+        )
+        deadline_rel = tenant.effective_deadline_us
+        if self.system is not None:
+            self.system.runtime.submit(
+                process=tenant.name,
+                kernel=req.kernel,
+                input_name=req.input_name,
+                priority=tenant.priority,
+                tenant=tenant.name,
+                deadline_us=(
+                    req.arrived_us + deadline_rel
+                    if deadline_rel is not None else None
+                ),
+                on_finished=lambda inv, req=req: self._on_complete(req),
+            )
+        else:
+            self.backend.submit_at(
+                self.sim.now,
+                f"{tenant.name}#{req.req_id}",
+                req.kernel,
+                req.input_name,
+                on_done=lambda req=req: self._on_complete(req),
+            )
+
+    def _on_complete(self, req: _Request) -> None:
+        now = self.sim.now
+        self.tracker.mark_completed(req.req_id, now)
+        p = req.tenant.priority
+        self._backlog_us[p] = max(
+            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
+        )
+        if self.obs.enabled and req.span is not None:
+            self.obs.tracer.end(req.span, outcome="completed")
+            req.span = None
+        self._client_continue(req)
+
+    # ------------------------------------------------------------------
+    # closed loops
+    # ------------------------------------------------------------------
+    def _client_issue(self, client: ClosedLoopClient) -> None:
+        key = id(client)
+        issued = self._client_issued.get(key, 0)
+        if issued >= client.max_requests:
+            return
+        self._client_issued[key] = issued + 1
+        self._on_arrival(
+            self.tenants[client.tenant], client.kernel, client.input_name,
+            client=client,
+        )
+
+    def _client_continue(self, req: _Request) -> None:
+        """After a closed-loop request resolves, think then re-issue."""
+        client = req.client
+        if client is None:
+            return
+        self.sim.schedule(
+            client.think_us, lambda: self._client_issue(client),
+            label=f"serve-think:{client.tenant}",
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> ServingReport:
+        """Schedule every queued workload, drive the sim, report."""
+        if self._ran:
+            raise ServingError("a ServingSystem runs once; build a new one")
+        self._ran = True
+        merged = merge_traces(*self._traces) if self._traces else None
+        if merged is not None:
+            for a in merged.sorted():
+                tenant = self.tenants[a.tenant]
+                self.sim.schedule_at(
+                    a.at_us,
+                    lambda t=tenant, k=a.kernel_name, i=a.input_name:
+                        self._on_arrival(t, k, i),
+                    label=f"serve-arrival:{a.tenant}",
+                )
+        for client in self._clients:
+            for _ in range(client.concurrency):
+                self.sim.schedule_at(
+                    client.start_us,
+                    lambda c=client: self._client_issue(c),
+                    label=f"serve-start:{client.tenant}",
+                )
+        if not self._traces and not self._clients:
+            raise ServingError("nothing to serve: add a trace or a client")
+        self.result = self.backend.run(until=until)
+        if self.obs.enabled:
+            self.obs.finalize()
+        return self.tracker.report(horizon_us=self.sim.now)

@@ -1,0 +1,95 @@
+"""Tenant descriptors for the multi-tenant serving layer.
+
+A :class:`Tenant` names one client of the shared GPU and carries every
+knob the serving stack reads: the FLEP scheduling priority, a fair-share
+weight (FFS), the SLO latency target the admission controller budgets
+against, an optional per-request deadline for the EDF policy, and an
+optional token-bucket rate limit. A :class:`TenantSet` is the validated,
+name-keyed collection the server and the SLO tracker share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import ServingError
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One client of the shared GPU service."""
+
+    name: str
+    #: FLEP scheduling priority (higher preempts lower).
+    priority: int = 0
+    #: Fair-share weight (read by weighted policies such as FFS).
+    weight: float = 1.0
+    #: SLO latency target in µs (arrival to completion); ``None`` means
+    #: best-effort — the admission controller never sheds such traffic.
+    slo_us: Optional[float] = None
+    #: Per-request completion deadline in µs relative to arrival; the
+    #: EDF policy orders same-priority work by it. Defaults to the SLO.
+    deadline_us: Optional[float] = None
+    #: Token-bucket rate limit in requests per second (``None`` = none).
+    rate_limit_rps: Optional[float] = None
+    #: Token-bucket burst capacity (requests admitted back-to-back).
+    burst: int = 8
+
+    def __post_init__(self):
+        if not self.name:
+            raise ServingError("tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise ServingError(f"tenant {self.name}: weight must be positive")
+        if self.slo_us is not None and self.slo_us <= 0:
+            raise ServingError(f"tenant {self.name}: slo_us must be positive")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ServingError(
+                f"tenant {self.name}: deadline_us must be positive"
+            )
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise ServingError(
+                f"tenant {self.name}: rate_limit_rps must be positive"
+            )
+        if self.burst < 1:
+            raise ServingError(f"tenant {self.name}: burst must be >= 1")
+
+    @property
+    def effective_deadline_us(self) -> Optional[float]:
+        """The relative deadline stamped on each request: the explicit
+        ``deadline_us`` when given, else the SLO target."""
+        return self.deadline_us if self.deadline_us is not None else self.slo_us
+
+
+class TenantSet:
+    """A validated, name-keyed collection of tenants."""
+
+    def __init__(self, tenants: Iterable[Tenant]):
+        self._tenants: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            if tenant.name in self._tenants:
+                raise ServingError(f"duplicate tenant {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+        if not self._tenants:
+            raise ServingError("a TenantSet needs at least one tenant")
+
+    def __getitem__(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ServingError(
+                f"unknown tenant {name!r} (have {sorted(self._tenants)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._tenants)

@@ -45,6 +45,8 @@ class Arrival:
     kernel_name: str
     input_name: str
     priority: int = 0
+    #: Who sent the request (the serving layer's tenant name).
+    tenant: str = "default"
 
 
 @dataclass
@@ -68,12 +70,22 @@ def poisson_trace(
     seed: int = 0,
     input_names: Optional[List[str]] = None,
     priorities: Optional[List[int]] = None,
+    tenants: Optional[List[str]] = None,
 ) -> ArrivalTrace:
     """Poisson arrivals of random kernels — the 'large number of short
-    queries from user-facing interactive applications' of §2.2."""
+    queries from user-facing interactive applications' of §2.2.
+
+    ``tenants`` optionally names who sends each request, drawn uniformly
+    from its own seed-derived stream — passing it never perturbs the
+    arrival times or kernel picks of the same seed, and omitting it tags
+    every arrival ``"default"``.
+    """
     if rate_per_ms <= 0 or duration_ms <= 0:
         raise WorkloadError("rate and duration must be positive")
+    if not kernel_names:
+        raise WorkloadError("poisson_trace needs at least one kernel name")
     rng = random.Random(seed)
+    tenant_rng = random.Random(seed * 1_000_003 + 1) if tenants else None
     input_names = input_names or ["small"]
     priorities = priorities or [0]
     t = 0.0
@@ -88,6 +100,9 @@ def poisson_trace(
                 kernel_name=rng.choice(kernel_names),
                 input_name=rng.choice(input_names),
                 priority=rng.choice(priorities),
+                tenant=(
+                    tenant_rng.choice(tenants) if tenant_rng else "default"
+                ),
             )
         )
     return trace

@@ -69,3 +69,43 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeCLI:
+    def test_serve_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--mode" in out and "--slo" in out and "--admission" in out
+
+    def test_serve_single_mode(self, capsys):
+        assert main(["serve", "--mode", "flep-spatial", "--rate", "0.2",
+                     "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "=== flep-spatial" in out
+        assert "interactive" in out and "batch" in out
+        assert "attain" in out
+
+    def test_serve_all_modes_json(self, capsys):
+        assert main(["serve", "--rate", "0.2", "--duration", "5",
+                     "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["mode"] for r in reports] == [
+            "mps", "flep-temporal", "flep-spatial"
+        ]
+        for r in reports:
+            names = {t["tenant"] for t in r["tenants"]}
+            assert names == {"batch", "interactive"}
+
+    def test_serve_prometheus(self, capsys):
+        from repro.obs.metrics import parse_prometheus
+
+        assert main(["serve", "--mode", "flep-spatial", "--rate", "0.2",
+                     "--duration", "5", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        prom = out[out.index("# HELP"):]
+        parsed = parse_prometheus(prom)
+        assert any(
+            name == "flep_serving_requests_total" for name, _ in parsed
+        )

@@ -1,0 +1,55 @@
+"""Shared percentile helper tests (known values, interpolation, errors)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics import percentile, percentiles
+
+
+class TestPercentile:
+    def test_median_even_count(self):
+        assert percentile(range(1, 11), 50.0) == pytest.approx(5.5)
+
+    def test_median_odd_count(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_endpoints(self):
+        data = [3.0, 1.0, 4.0, 1.5]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 4.0
+
+    def test_linear_interpolation(self):
+        # numpy.percentile([1,2,3,4], 25) == 1.75
+        assert percentile([1.0, 2.0, 3.0, 4.0], 25.0) == pytest.approx(1.75)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 95.0) == pytest.approx(3.85)
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == pytest.approx(5.0)
+
+    def test_single_value(self):
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            percentile([], 50.0)
+
+    @pytest.mark.parametrize("q", [-0.1, 100.1, 200.0])
+    def test_out_of_range_q_rejected(self, q):
+        with pytest.raises(ExperimentError):
+            percentile([1.0], q)
+
+
+class TestPercentiles:
+    def test_default_tail_set(self):
+        data = list(range(1, 101))
+        p50, p95, p99 = percentiles(data)
+        assert p50 == pytest.approx(50.5)
+        assert p95 == pytest.approx(95.05)
+        assert p99 == pytest.approx(99.01)
+
+    def test_custom_qs(self):
+        assert percentiles([1.0, 2.0, 3.0], qs=(0.0, 100.0)) == [1.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            percentiles([])

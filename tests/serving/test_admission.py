@@ -1,0 +1,110 @@
+"""Admission controller tests: accept, delay, and shed paths."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import AdmissionController, Decision, Tenant, TenantSet, TokenBucket
+
+SLO = 2_000.0
+
+
+def controller(delay_headroom=0.5, **tenant_kwargs):
+    tenant = Tenant("q", priority=1, slo_us=SLO, **tenant_kwargs)
+    return tenant, AdmissionController(
+        TenantSet([tenant]), delay_headroom=delay_headroom
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate_rps=1.0, burst=3)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_rps=1_000.0, burst=1)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 1000 rps = one token per 1000 µs
+        assert bucket.try_take(1_000.0)
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate_rps=1_000.0, burst=2)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        # a long idle period refills to burst, not beyond
+        assert [bucket.try_take(1e9) for _ in range(3)] == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            TokenBucket(rate_rps=0.0, burst=1)
+        with pytest.raises(ServingError):
+            TokenBucket(rate_rps=1.0, burst=0)
+
+
+class TestDecide:
+    def test_accept_within_slo(self):
+        tenant, ctrl = controller()
+        verdict = ctrl.decide(tenant, now_us=100.0, predicted_us=500.0,
+                              backlog_us=1_000.0)
+        assert verdict.decision is Decision.ACCEPT
+        assert verdict.reason == "within_slo"
+        assert verdict.admitted
+        assert verdict.predicted_finish_us == 1_600.0
+
+    def test_accept_exactly_at_budget(self):
+        tenant, ctrl = controller()
+        verdict = ctrl.decide(tenant, 0.0, predicted_us=SLO, backlog_us=0.0)
+        assert verdict.decision is Decision.ACCEPT
+
+    def test_delay_on_moderate_overshoot(self):
+        tenant, ctrl = controller(delay_headroom=0.5)
+        # finish = 2500, budget = 2000: overshoot 500 <= 0.5 * 2000
+        verdict = ctrl.decide(tenant, 0.0, predicted_us=500.0,
+                              backlog_us=2_000.0)
+        assert verdict.decision is Decision.DELAY
+        assert verdict.reason == "slo_overshoot"
+        assert verdict.hold_us == 500.0
+        assert verdict.admitted
+
+    def test_shed_beyond_headroom(self):
+        tenant, ctrl = controller(delay_headroom=0.5)
+        # overshoot 1500 > 0.5 * 2000 -> reject
+        verdict = ctrl.decide(tenant, 0.0, predicted_us=500.0,
+                              backlog_us=3_000.0)
+        assert verdict.decision is Decision.SHED
+        assert verdict.reason == "predicted_slo_miss"
+        assert not verdict.admitted
+
+    def test_zero_headroom_sheds_any_overshoot(self):
+        tenant, ctrl = controller(delay_headroom=0.0)
+        verdict = ctrl.decide(tenant, 0.0, predicted_us=SLO + 1.0,
+                              backlog_us=0.0)
+        assert verdict.decision is Decision.SHED
+
+    def test_best_effort_always_accepted(self):
+        tenant = Tenant("batch")
+        ctrl = AdmissionController(TenantSet([tenant]))
+        verdict = ctrl.decide(tenant, 0.0, predicted_us=1e9, backlog_us=1e9)
+        assert verdict.decision is Decision.ACCEPT
+        assert verdict.reason == "best_effort"
+
+    def test_rate_limit_clips_before_slo_test(self):
+        tenant, ctrl = controller(rate_limit_rps=1_000.0, burst=1)
+        first = ctrl.decide(tenant, 0.0, predicted_us=10.0, backlog_us=0.0)
+        second = ctrl.decide(tenant, 0.0, predicted_us=10.0, backlog_us=0.0)
+        assert first.decision is Decision.ACCEPT
+        assert second.decision is Decision.SHED
+        assert second.reason == "rate_limit"
+
+    def test_negative_inputs_rejected(self):
+        tenant, ctrl = controller()
+        with pytest.raises(ServingError):
+            ctrl.decide(tenant, 0.0, predicted_us=-1.0, backlog_us=0.0)
+        with pytest.raises(ServingError):
+            ctrl.decide(tenant, 0.0, predicted_us=1.0, backlog_us=-1.0)
+
+    def test_negative_headroom_rejected(self):
+        with pytest.raises(ServingError):
+            AdmissionController(TenantSet([Tenant("t")]), delay_headroom=-0.1)

@@ -1,0 +1,146 @@
+"""Load generator tests: determinism, trace record/replay, validation."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    ClosedLoopClient,
+    MMPPLoadGen,
+    PoissonLoadGen,
+    ReplayLoadGen,
+    load_trace,
+    merge_traces,
+    save_trace,
+)
+
+
+class TestPoissonLoadGen:
+    def test_deterministic_per_seed(self):
+        def arrivals(seed):
+            gen = PoissonLoadGen("q", ["SPMV", "MM"], rate_per_ms=1.0,
+                                 duration_ms=20.0, seed=seed)
+            return [(a.at_us, a.kernel_name) for a in gen.generate().arrivals]
+
+        assert arrivals(5) == arrivals(5)
+        assert arrivals(5) != arrivals(6)
+
+    def test_stamps_tenant_and_priority(self):
+        gen = PoissonLoadGen("interactive", ["SPMV"], 1.0, 20.0,
+                             seed=0, priority=2)
+        trace = gen.generate()
+        assert trace.arrivals
+        assert all(a.tenant == "interactive" for a in trace.arrivals)
+        assert all(a.priority == 2 for a in trace.arrivals)
+
+    def test_within_horizon(self):
+        trace = PoissonLoadGen("q", ["SPMV"], 2.0, 10.0, seed=1).generate()
+        assert all(0 < a.at_us <= 10_000.0 for a in trace.arrivals)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate_per_ms=0.0, duration_ms=10.0),
+        dict(rate_per_ms=1.0, duration_ms=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ServingError):
+            PoissonLoadGen("q", ["SPMV"], **kwargs).generate()
+
+    def test_no_kernels_rejected(self):
+        with pytest.raises(ServingError):
+            PoissonLoadGen("q", [], 1.0, 10.0).generate()
+
+
+class TestMMPPLoadGen:
+    def test_deterministic_per_seed(self):
+        def arrivals(seed):
+            gen = MMPPLoadGen("q", ["SPMV"], base_rate_per_ms=0.2,
+                              burst_rate_per_ms=5.0, duration_ms=50.0,
+                              seed=seed)
+            return [a.at_us for a in gen.generate().arrivals]
+
+        assert arrivals(3) == arrivals(3)
+        assert arrivals(3) != arrivals(4)
+
+    def test_within_horizon_and_sorted(self):
+        gen = MMPPLoadGen("q", ["SPMV"], 0.5, 4.0, duration_ms=40.0, seed=2)
+        times = [a.at_us for a in gen.generate().arrivals]
+        assert times == sorted(times)
+        assert all(0 < t <= 40_000.0 for t in times)
+
+    def test_bursts_raise_the_arrival_count(self):
+        """MMPP with a hot burst state offers more load than pure quiet."""
+        quiet = MMPPLoadGen("q", ["SPMV"], 0.2, 0.2, duration_ms=200.0,
+                            seed=7)
+        bursty = MMPPLoadGen("q", ["SPMV"], 0.2, 8.0, duration_ms=200.0,
+                             mean_quiet_ms=5.0, mean_burst_ms=5.0, seed=7)
+        assert (len(bursty.generate().arrivals)
+                > len(quiet.generate().arrivals))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_rate_per_ms=0.0, burst_rate_per_ms=1.0, duration_ms=10.0),
+        dict(base_rate_per_ms=1.0, burst_rate_per_ms=1.0, duration_ms=0.0),
+        dict(base_rate_per_ms=1.0, burst_rate_per_ms=1.0, duration_ms=10.0,
+             mean_quiet_ms=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ServingError):
+            MMPPLoadGen("q", ["SPMV"], **kwargs).generate()
+
+
+class TestTraceRecordReplay:
+    def test_round_trip(self, tmp_path):
+        gen = PoissonLoadGen("interactive", ["SPMV", "MM"], 1.0, 20.0,
+                             seed=9, priority=1)
+        original = gen.generate()
+        path = tmp_path / "trace.jsonl"
+        save_trace(original, str(path))
+        replayed = load_trace(str(path))
+        assert [
+            (a.at_us, a.kernel_name, a.input_name, a.priority, a.tenant)
+            for a in replayed.arrivals
+        ] == [
+            (a.at_us, a.kernel_name, a.input_name, a.priority, a.tenant)
+            for a in original.sorted()
+        ]
+
+    def test_replay_loadgen_remaps_tenant(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(
+            PoissonLoadGen("old", ["SPMV"], 1.0, 10.0, seed=0).generate(),
+            str(path),
+        )
+        trace = ReplayLoadGen(str(path), tenant="new").generate()
+        assert trace.arrivals
+        assert all(a.tenant == "new" for a in trace.arrivals)
+
+    def test_bad_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"at_us": 1.0, "kernel": "SPMV"}\n{"at_us": "x"}\n')
+        with pytest.raises(ServingError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"at_us": 5.0, "kernel": "MM"}\n\n')
+        trace = load_trace(str(path))
+        assert len(trace.arrivals) == 1
+        assert trace.arrivals[0].tenant == "default"
+
+
+class TestMergeAndClosedLoop:
+    def test_merge_sorts_by_time(self):
+        a = PoissonLoadGen("a", ["SPMV"], 1.0, 10.0, seed=1).generate()
+        b = PoissonLoadGen("b", ["MM"], 1.0, 10.0, seed=2).generate()
+        merged = merge_traces(a, b)
+        times = [x.at_us for x in merged.arrivals]
+        assert times == sorted(times)
+        assert len(merged.arrivals) == len(a.arrivals) + len(b.arrivals)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(concurrency=0),
+        dict(max_requests=0),
+        dict(think_us=-1.0),
+        dict(start_us=-1.0),
+    ])
+    def test_closed_loop_validation(self, kwargs):
+        with pytest.raises(ServingError):
+            ClosedLoopClient("t", "SPMV", **kwargs)

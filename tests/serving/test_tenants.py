@@ -1,0 +1,69 @@
+"""Tenant descriptor and TenantSet validation tests."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import Tenant, TenantSet
+
+
+class TestTenant:
+    def test_defaults(self):
+        t = Tenant("batch")
+        assert t.priority == 0
+        assert t.weight == 1.0
+        assert t.slo_us is None
+        assert t.deadline_us is None
+        assert t.rate_limit_rps is None
+        assert t.burst == 8
+
+    def test_frozen(self):
+        t = Tenant("batch")
+        with pytest.raises(AttributeError):
+            t.priority = 3
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(name="t", weight=0.0),
+        dict(name="t", weight=-1.0),
+        dict(name="t", slo_us=0.0),
+        dict(name="t", slo_us=-5.0),
+        dict(name="t", deadline_us=0.0),
+        dict(name="t", rate_limit_rps=0.0),
+        dict(name="t", burst=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ServingError):
+            Tenant(**kwargs)
+
+    def test_effective_deadline_prefers_explicit(self):
+        t = Tenant("t", slo_us=2_000.0, deadline_us=1_500.0)
+        assert t.effective_deadline_us == 1_500.0
+
+    def test_effective_deadline_falls_back_to_slo(self):
+        assert Tenant("t", slo_us=2_000.0).effective_deadline_us == 2_000.0
+
+    def test_effective_deadline_best_effort(self):
+        assert Tenant("t").effective_deadline_us is None
+
+
+class TestTenantSet:
+    def test_lookup_and_iteration(self):
+        ts = TenantSet([Tenant("a", priority=1), Tenant("b")])
+        assert len(ts) == 2
+        assert "a" in ts and "b" in ts and "c" not in ts
+        assert ts["a"].priority == 1
+        assert ts.names == ["a", "b"]
+        assert [t.name for t in ts] == ["a", "b"]
+
+    def test_unknown_tenant_raises(self):
+        ts = TenantSet([Tenant("a")])
+        with pytest.raises(ServingError, match="unknown tenant"):
+            ts["zzz"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ServingError, match="duplicate"):
+            TenantSet([Tenant("a"), Tenant("a", priority=1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServingError):
+            TenantSet([])

@@ -52,3 +52,38 @@ class TestPoissonTrace:
             poisson_trace(["NN"], 0.0, 10.0)
         with pytest.raises(WorkloadError):
             poisson_trace(["NN"], 1.0, -1.0)
+
+    def test_empty_kernel_set_rejected(self):
+        with pytest.raises(WorkloadError):
+            poisson_trace([], 1.0, 10.0)
+
+    def test_default_tenant(self):
+        trace = poisson_trace(["NN"], 1.0, 10.0, seed=0)
+        assert all(a.tenant == "default" for a in trace.arrivals)
+
+    def test_tenants_drawn_from_given_set(self):
+        trace = poisson_trace(["NN"], 2.0, 50.0, seed=5,
+                              tenants=["alice", "bob"])
+        drawn = {a.tenant for a in trace.arrivals}
+        assert drawn == {"alice", "bob"}
+
+    def test_tenant_draw_preserves_arrival_stream(self):
+        """Adding tenants must not perturb the seeded arrival times."""
+        plain = poisson_trace(["NN", "VA"], 1.0, 30.0, seed=6)
+        tenanted = poisson_trace(["NN", "VA"], 1.0, 30.0, seed=6,
+                                 tenants=["a", "b"])
+        assert ([ (x.at_us, x.kernel_name) for x in plain.arrivals]
+                == [(x.at_us, x.kernel_name) for x in tenanted.arrivals])
+
+    def test_tenant_assignment_deterministic(self):
+        a = poisson_trace(["NN"], 1.0, 30.0, seed=8, tenants=["a", "b"])
+        b = poisson_trace(["NN"], 1.0, 30.0, seed=8, tenants=["a", "b"])
+        assert [x.tenant for x in a.arrivals] == [x.tenant for x in b.arrivals]
+
+
+class TestArrivalTrace:
+    def test_empty_trace_horizon_is_zero(self):
+        from repro.workloads.synthetic import ArrivalTrace
+
+        assert ArrivalTrace().horizon_us == 0.0
+        assert ArrivalTrace().sorted() == []

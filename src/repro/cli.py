@@ -8,6 +8,8 @@
     flep trace --export out.json   # co-run + Chrome/Perfetto trace export
     flep stats fig8 --prometheus   # metrics from an observed experiment run
     flep serve --rate 0.4          # multi-tenant serving + per-tenant SLO report
+    flep fuzz --budget 200         # randomized invariant/oracle conformance run
+    flep fuzz --replay TOKEN       # re-run one shrunk failing reproducer
 """
 
 from __future__ import annotations
@@ -226,6 +228,47 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import os
+
+    from .validate import decode_case, encode_case, fuzz, run_case
+
+    if args.replay:
+        case = decode_case(args.replay)
+        print(f"replaying: {case.describe()}")
+        result = run_case(case)
+        if result.ok:
+            print(f"case passed ({', '.join(result.checks)})")
+            return 0
+        print(f"case FAILS [{result.error_type}]: {result.error}")
+        return 1
+
+    started = time.time()
+
+    def progress(i, result):
+        if (i + 1) % 50 == 0:
+            print(f"  ... {i + 1}/{args.budget} cases, "
+                  f"{time.time() - started:.1f}s", file=sys.stderr)
+
+    report = fuzz(
+        budget=args.budget, seed=args.seed, plant=args.plant,
+        on_progress=progress,
+    )
+    print(report.format())
+    print(f"[{report.cases_run} cases in {time.time() - started:.1f}s]")
+    if report.failures and args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        path = os.path.join(args.artifacts, "failing-seeds.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            for f in report.failures:
+                fh.write(f"{f.replay_command}\n")
+                fh.write(f"# [{f.error_type}] {f.error}\n")
+                fh.write(f"# original seed: {f.original.seed}, "
+                         f"minimal: {f.minimal.describe()}\n")
+        print(f"wrote reproducers to {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `flep` argument parser."""
     parser = argparse.ArgumentParser(
@@ -328,6 +371,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--export", default=None, metavar="PATH",
                          help="also write a Chrome/Perfetto trace JSON here")
     trace_p.set_defaults(fn=_cmd_trace)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="randomized conformance testing: run seeded workloads under "
+             "the invariant monitors and differential oracles",
+    )
+    fuzz_p.add_argument("--budget", type=int, default=200,
+                        help="number of generated cases (default: 200)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="base seed; case i uses seed+i")
+    fuzz_p.add_argument("--replay", default=None, metavar="TOKEN",
+                        help="re-run one minimal reproducer (an integer "
+                             "seed or a 'c...' token printed on failure)")
+    fuzz_p.add_argument("--plant", default=None,
+                        choices=["sm-budget-off-by-one"],
+                        help="deliberately plant a violation "
+                             "(self-test of the monitors)")
+    fuzz_p.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write failing reproducer commands here")
+    fuzz_p.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

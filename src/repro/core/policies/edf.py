@@ -88,6 +88,11 @@ class EDFPolicy(SchedulingPolicy):
             self.schedule_for_queue(kn.priority)
 
     def on_kernel_finished(self, inv) -> None:
+        if inv in self._queues.get(inv.priority, []):
+            # a temporally-preempted victim whose yield boundary lands on
+            # its last task completes *during* the drain, while it still
+            # sits in the wait queue — it must not be re-dispatched
+            self._remove(inv)
         hp = self._highest_nonempty()
         if hp is not None:
             self.schedule_for_queue(hp)

@@ -47,6 +47,11 @@ class HPFPolicy(SchedulingPolicy):
             self.schedule_for_queue(kn.priority)
 
     def on_kernel_finished(self, inv) -> None:
+        if inv in self.queues:
+            # a temporally-preempted victim whose yield boundary lands on
+            # its last task completes *during* the drain, while it still
+            # sits in the wait queue — it must not be re-dispatched
+            self.queues.remove(inv)
         hp = self.queues.highest_nonempty_priority()
         if hp is not None:
             self.schedule_for_queue(hp)

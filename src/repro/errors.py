@@ -73,3 +73,28 @@ class ServingError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid metric/span registration, observation, or export."""
+
+
+class ValidationError(ReproError):
+    """The conformance subsystem (:mod:`repro.validate`) found a problem."""
+
+
+class InvariantViolation(ValidationError):
+    """An online invariant monitor observed an illegal system state.
+
+    Carries machine-readable ``context`` (monitor name, simulated time,
+    offending values) so the fuzzer can report and shrink failures.
+    """
+
+    def __init__(self, message: str, **context):
+        self.context = dict(context)
+        if context:
+            details = ", ".join(f"{k}={v}" for k, v in context.items())
+            message = f"{message} [{details}]"
+        super().__init__(message)
+
+
+class OracleMismatch(ValidationError):
+    """A differential oracle found two executions that should agree but
+    do not (e.g. never-preempted temporal FLEP vs the persistent-thread
+    baseline)."""

@@ -44,6 +44,17 @@ class Simulator:
         """Number of events executed so far (cancelled pops not counted)."""
         return self._processed
 
+    @property
+    def max_events(self) -> int:
+        """Event budget before the engine declares a runaway loop."""
+        return self._max_events
+
+    @max_events.setter
+    def max_events(self, value: int) -> None:
+        if value <= 0:
+            raise SimulationError(f"max_events must be positive, got {value}")
+        self._max_events = value
+
     def schedule(
         self,
         delay: float,
@@ -105,10 +116,7 @@ class Simulator:
         self.clock.advance_to(ev.time)
         self._processed += 1
         if self._processed > self._max_events:
-            raise SimulationError(
-                f"event budget exceeded ({self._max_events}); "
-                "likely a runaway scheduling loop"
-            )
+            raise SimulationError(self._exhaustion_diagnostics(ev))
         if self._trace is not None:
             self._trace(ev)
         if self.obs.enabled:
@@ -142,6 +150,22 @@ class Simulator:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _exhaustion_diagnostics(self, current: Event) -> str:
+        """Diagnostic message for a blown event budget: what was running,
+        how much is still queued, and which events come next."""
+        live = [e for e in heapq.nsmallest(6, self._heap) if not e.cancelled]
+        heads = ", ".join(
+            f"{e.label or '<unlabelled>'}@{e.time:.3f}us" for e in live[:5]
+        ) or "<none>"
+        return (
+            f"event budget exceeded ({self._max_events} events) at "
+            f"t={self.now:.3f}us while firing "
+            f"{current.label or '<unlabelled>'!r}; "
+            f"pending={self.pending()}, next events: [{heads}]; "
+            "likely a runaway scheduling loop (raise Simulator.max_events "
+            "if the workload is legitimately this large)"
+        )
+
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

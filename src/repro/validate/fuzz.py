@@ -1,0 +1,445 @@
+"""Seed-minimizing workload fuzzer.
+
+:func:`generate_case` derives a random co-run — execution mode
+(``mps | flep-temporal | flep-spatial``), scheduling policy, and a
+kernel mix with arrival times and preemption-inducing priorities — from
+one integer seed. :func:`run_case` executes it under the full online
+monitor set (and, where the case shape permits, the differential
+oracles) and reports any :class:`~repro.errors.ValidationError`. On
+failure, :func:`shrink` greedily minimizes the case — dropping jobs,
+zeroing priorities and arrivals, shrinking inputs — while the failure
+reproduces, and :func:`encode_case` packs the survivor into a one-line
+replay token for ``flep fuzz --replay TOKEN``.
+
+Cases run on the oracle performance model with small/trivial inputs, so
+one case costs tens of milliseconds and a 200-case CI budget stays well
+under a minute.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import random
+import zlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.mps_corun import MPSCoRun
+from ..core.flep import FlepSystem
+from ..errors import ReproError, ValidationError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..runtime.engine import RuntimeConfig
+from ..workloads.benchmarks import BENCHMARK_NAMES, standard_suite
+from .monitors import install_monitors, off_by_one_spec
+from .oracles import hpf_differential, temporal_differential
+
+__all__ = [
+    "MODES",
+    "PLANTS",
+    "FuzzJob",
+    "FuzzCase",
+    "FuzzResult",
+    "FuzzFailure",
+    "FuzzReport",
+    "generate_case",
+    "run_case",
+    "shrink",
+    "fuzz",
+    "encode_case",
+    "decode_case",
+]
+
+MODES = ("mps", "flep-temporal", "flep-spatial")
+_POLICIES = ("hpf", "ffs", "fifo", "reorder", "edf")
+_INPUTS = ("small", "trivial")
+#: per-case event budget: a legitimate small co-run needs ~1e4 events,
+#: so hitting this means a runaway loop — exactly what we want to catch
+_CASE_MAX_EVENTS = 2_000_000
+
+#: Named planted violations for self-testing the monitors end to end.
+PLANTS = ("sm-budget-off-by-one",)
+
+# the suite calibration is deterministic and costs ~0.2 s — share it
+_SUITE_CACHE: Dict[str, object] = {}
+
+
+def _shared_suite(device: GPUDeviceSpec):
+    key = f"{device.name}/{device.num_sms}"
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = standard_suite(device)
+    return _SUITE_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# case model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzJob:
+    """One kernel invocation of a fuzz case."""
+
+    kernel: str
+    input_name: str
+    priority: int
+    arrival_us: float
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible workload: derived from a seed, or decoded from a
+    replay token after shrinking."""
+
+    seed: int
+    mode: str
+    policy: str
+    jobs: tuple
+    plant: Optional[str] = None
+
+    def describe(self) -> str:
+        jobs = ", ".join(
+            f"{j.kernel}[{j.input_name}]p{j.priority}@{j.arrival_us:.0f}us"
+            for j in self.jobs
+        )
+        plant = f", plant={self.plant}" if self.plant else ""
+        return (
+            f"seed={self.seed} mode={self.mode} policy={self.policy}"
+            f"{plant}: {jobs}"
+        )
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of executing one case."""
+
+    case: FuzzCase
+    ok: bool
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    checks: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FuzzFailure:
+    """A failing case, after shrinking, with its replay line."""
+
+    original: FuzzCase
+    minimal: FuzzCase
+    error: str
+    error_type: str
+    shrink_steps: int
+
+    @property
+    def replay_token(self) -> str:
+        return encode_case(self.minimal)
+
+    @property
+    def replay_command(self) -> str:
+        return f"flep fuzz --replay {self.replay_token}"
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzzing campaign."""
+
+    budget: int
+    seed: int
+    cases_run: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {self.cases_run}/{self.budget} cases "
+            f"(base seed {self.seed}): "
+            + ("all invariants held" if self.ok
+               else f"{len(self.failures)} FAILING case(s)")
+        ]
+        for f in self.failures:
+            lines.append(f"  [{f.error_type}] {f.error}")
+            lines.append(f"    minimal case: {f.minimal.describe()}")
+            lines.append(
+                f"    reproduce with: {f.replay_command}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+def generate_case(seed: int, plant: Optional[str] = None) -> FuzzCase:
+    """Derive one workload case deterministically from ``seed``."""
+    if plant is not None and plant not in PLANTS:
+        raise ValidationError(
+            f"unknown plant {plant!r} (have {sorted(PLANTS)})"
+        )
+    rng = random.Random(seed)
+    mode = rng.choice(MODES)
+    policy = rng.choice(_POLICIES) if mode != "mps" else "fifo"
+    n_jobs = rng.randint(2, 5)
+    jobs = []
+    for _ in range(n_jobs):
+        jobs.append(
+            FuzzJob(
+                kernel=rng.choice(BENCHMARK_NAMES),
+                input_name=rng.choice(_INPUTS),
+                priority=rng.randint(0, 2),
+                # coarse grid keeps arrivals human-readable after shrink
+                arrival_us=float(rng.randrange(0, 3001, 50)),
+            )
+        )
+    jobs.sort(key=lambda j: j.arrival_us)
+    return FuzzCase(
+        seed=seed, mode=mode, policy=policy, jobs=tuple(jobs), plant=plant
+    )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+def _planted_spec(case: FuzzCase, device: GPUDeviceSpec):
+    if case.plant is None:
+        return None
+    if case.plant == "sm-budget-off-by-one":
+        return off_by_one_spec(device)
+    raise ValidationError(f"unknown plant {case.plant!r}")
+
+
+def run_case(
+    case: FuzzCase, device: Optional[GPUDeviceSpec] = None
+) -> FuzzResult:
+    """Execute one case under the monitors (and applicable oracles)."""
+    device = device or tesla_k40()
+    suite = _shared_suite(device)
+    checks: List[str] = []
+    try:
+        if case.mode == "mps":
+            target = MPSCoRun(device=device, suite=suite)
+        else:
+            target = FlepSystem(
+                policy=case.policy, device=device, suite=suite,
+                config=RuntimeConfig(
+                    oracle_model=True,
+                    spatial_enabled=(case.mode == "flep-spatial"),
+                ),
+            )
+        target.sim.max_events = _CASE_MAX_EVENTS
+        monitors = install_monitors(
+            target,
+            spec=_planted_spec(case, device),
+            require_complete=True,
+        )
+        checks.append("monitors")
+        for i, job in enumerate(case.jobs):
+            if case.mode == "mps":
+                target.submit_at(
+                    job.arrival_us, f"job{i}", job.kernel, job.input_name
+                )
+            else:
+                target.submit_at(
+                    job.arrival_us, f"job{i}", job.kernel, job.input_name,
+                    priority=job.priority,
+                )
+        result = target.run()
+        monitors.finalize()
+        if not result.all_finished:
+            raise ValidationError(
+                f"case did not finish every invocation: {case.describe()}"
+            )
+
+        # differential oracles, where the case shape permits them
+        if case.mode == "flep-temporal" and case.policy == "fifo":
+            temporal_differential(
+                [(j.arrival_us, j.kernel, j.input_name) for j in case.jobs],
+                device=device, suite=suite,
+            ).raise_on_mismatch()
+            checks.append("temporal-oracle")
+        if (
+            case.mode == "flep-temporal"
+            and case.policy == "hpf"
+            and len(case.jobs) <= 4
+        ):
+            hpf_differential(
+                [(j.arrival_us, j.priority, j.kernel, j.input_name)
+                 for j in case.jobs],
+                device=device, suite=suite,
+            ).raise_on_mismatch()
+            checks.append("hpf-oracle")
+    except ReproError as exc:
+        return FuzzResult(
+            case=case, ok=False, error=str(exc),
+            error_type=type(exc).__name__, checks=checks,
+        )
+    return FuzzResult(case=case, ok=True, checks=checks)
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+def _candidates(case: FuzzCase) -> List[FuzzCase]:
+    """Simplification steps, most aggressive first."""
+    out: List[FuzzCase] = []
+    # drop one job at a time
+    if len(case.jobs) > 1:
+        for i in range(len(case.jobs)):
+            out.append(replace(
+                case, jobs=case.jobs[:i] + case.jobs[i + 1:]
+            ))
+    # per-job field simplifications
+    for i, job in enumerate(case.jobs):
+        def with_job(j, i=i):
+            return replace(
+                case, jobs=case.jobs[:i] + (j,) + case.jobs[i + 1:]
+            )
+
+        if job.input_name != "trivial":
+            out.append(with_job(replace(job, input_name="trivial")))
+        if job.priority != 0:
+            out.append(with_job(replace(job, priority=0)))
+        if job.arrival_us != 0.0:
+            out.append(with_job(replace(job, arrival_us=0.0)))
+            if job.arrival_us > 100.0:
+                out.append(
+                    with_job(replace(job, arrival_us=job.arrival_us / 2))
+                )
+        if job.kernel != "VA":
+            out.append(with_job(replace(job, kernel="VA")))
+    return out
+
+
+def shrink(
+    case: FuzzCase,
+    still_fails: Optional[Callable[[FuzzCase], bool]] = None,
+    max_attempts: int = 400,
+    device: Optional[GPUDeviceSpec] = None,
+) -> tuple:
+    """Greedy delta-debugging: apply the first simplification that keeps
+    the case failing; repeat to a fixed point.
+
+    Returns ``(minimal_case, steps_taken)``. ``still_fails`` defaults to
+    "``run_case`` reports the same error type".
+    """
+    baseline = run_case(case, device=device)
+    if baseline.ok:
+        raise ValidationError("cannot shrink a passing case")
+    if still_fails is None:
+        want = baseline.error_type
+
+        def still_fails(c: FuzzCase) -> bool:
+            r = run_case(c, device=device)
+            return (not r.ok) and r.error_type == want
+
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(case):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            if still_fails(candidate):
+                case = candidate
+                steps += 1
+                progress = True
+                break
+    return case, steps
+
+
+# ---------------------------------------------------------------------------
+# replay tokens
+# ---------------------------------------------------------------------------
+def encode_case(case: FuzzCase) -> str:
+    """Pack a case into a compact replay token (``c`` + base64url)."""
+    payload = {
+        "v": 1,
+        "seed": case.seed,
+        "mode": case.mode,
+        "policy": case.policy,
+        "plant": case.plant,
+        "jobs": [asdict(j) for j in case.jobs],
+    }
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    packed = base64.urlsafe_b64encode(zlib.compress(raw, 9)).decode("ascii")
+    return "c" + packed.rstrip("=")
+
+
+def decode_case(token: str) -> FuzzCase:
+    """Inverse of :func:`encode_case`; bare integers replay
+    ``generate_case(int(token))`` directly."""
+    token = token.strip()
+    if token.lstrip("-").isdigit():
+        return generate_case(int(token))
+    if not token.startswith("c"):
+        raise ValidationError(
+            f"not a replay token: {token[:32]!r} (expected an integer "
+            "seed or a 'c...' token printed by flep fuzz)"
+        )
+    body = token[1:]
+    body += "=" * (-len(body) % 4)
+    try:
+        raw = zlib.decompress(base64.urlsafe_b64decode(body))
+        payload = json.loads(raw)
+        jobs = tuple(FuzzJob(**j) for j in payload["jobs"])
+        return FuzzCase(
+            seed=int(payload["seed"]),
+            mode=payload["mode"],
+            policy=payload["policy"],
+            jobs=jobs,
+            plant=payload.get("plant"),
+        )
+    except ValidationError:
+        raise
+    except Exception as exc:
+        raise ValidationError(f"malformed replay token: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# the campaign driver
+# ---------------------------------------------------------------------------
+def fuzz(
+    budget: int = 200,
+    seed: int = 0,
+    plant: Optional[str] = None,
+    device: Optional[GPUDeviceSpec] = None,
+    max_failures: int = 3,
+    on_progress: Optional[Callable[[int, FuzzResult], None]] = None,
+) -> FuzzReport:
+    """Run ``budget`` generated cases; shrink and report any failures.
+
+    Stops early after ``max_failures`` distinct failures — each shrink
+    costs many case executions, and one minimal reproducer per error
+    type is what a human needs.
+    """
+    if budget <= 0:
+        raise ValidationError("fuzz budget must be positive")
+    report = FuzzReport(budget=budget, seed=seed)
+    seen_errors: set = set()
+    for i in range(budget):
+        case = generate_case(seed + i, plant=plant)
+        result = run_case(case, device=device)
+        report.cases_run += 1
+        if on_progress is not None:
+            on_progress(i, result)
+        if result.ok:
+            continue
+        key = (result.error_type, result.case.mode, result.case.policy)
+        if key in seen_errors:
+            continue  # one reproducer per (error, mode, policy) shape
+        seen_errors.add(key)
+        minimal, steps = shrink(case, device=device)
+        final = run_case(minimal, device=device)
+        report.failures.append(
+            FuzzFailure(
+                original=case,
+                minimal=minimal,
+                error=final.error or result.error or "",
+                error_type=final.error_type or result.error_type or "",
+                shrink_steps=steps,
+            )
+        )
+        if len(report.failures) >= max_failures:
+            break
+    return report

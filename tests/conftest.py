@@ -1,19 +1,33 @@
-"""Shared fixtures.
+"""Shared fixtures and hypothesis profiles.
 
 Heavyweight objects (the calibrated suite, trained models, the co-run
 harness with its solo-time cache) are session-scoped: they are
 deterministic and read-only from the tests' perspective.
+
+Hypothesis profiles: ``dev`` (the default) runs a generous number of
+examples with no deadline — simulated workloads legitimately vary in
+wall-clock time, so per-example deadlines only produce flaky failures.
+``ci`` bounds the example count so the matrix stays fast; select it with
+``HYPOTHESIS_PROFILE=ci`` (the CI workflow does).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.experiments.harness import CoRunHarness
 from repro.gpu.device import small_test_gpu, tesla_k40
 from repro.gpu.kernel import KernelImage, ResourceUsage, TaskModel
 from repro.gpu.sim import Simulator
 from repro.workloads.benchmarks import standard_suite
+
+settings.register_profile("dev", max_examples=40, deadline=None)
+settings.register_profile("ci", max_examples=20, deadline=None,
+                          derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

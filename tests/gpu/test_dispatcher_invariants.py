@@ -1,6 +1,9 @@
 """Device-wide invariant tests: under random workload mixes and random
 preemptions, SM resource limits are never exceeded and all work is
-conserved."""
+conserved.
+
+The checker itself lives in :mod:`repro.validate.monitors`; these tests
+exercise it against hypothesis-generated workloads."""
 
 import random
 
@@ -19,22 +22,7 @@ from repro.gpu.kernel import (
     TaskPool,
 )
 from repro.gpu.sim import Simulator
-
-
-def install_invariant_checker(sim, gpu):
-    """Assert SM budgets after every event."""
-    spec = gpu.spec
-
-    def check(ev):
-        for sm in gpu.sms:
-            assert len(sm.resident) <= spec.max_ctas_per_sm
-            assert sm.used_threads <= spec.max_threads_per_sm
-            assert sm.used_warps <= spec.max_warps_per_sm
-            assert sm.used_regs <= spec.registers_per_sm
-            assert sm.used_smem <= spec.shared_mem_per_sm
-            assert min(sm.used_threads, sm.used_regs, sm.used_smem) >= 0
-
-    sim.set_trace(check)
+from repro.validate import install_invariant_checker
 
 
 @st.composite
@@ -64,7 +52,6 @@ def workload(draw):
 
 class TestInvariantsUnderRandomWorkloads:
     @given(spec=workload())
-    @settings(max_examples=40, deadline=None)
     def test_resources_and_conservation(self, spec):
         sim = Simulator()
         gpu = SimulatedGPU(sim, tesla_k40())
@@ -114,7 +101,7 @@ class TestInvariantsUnderRandomWorkloads:
         n=st.integers(2, 10),
         task_us=st.floats(1.0, 20.0),
     )
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_fifo_dispatch_order_of_blocking_grids(self, seed, n, task_us):
         """Head-of-line blocking: a later grid is never *dispatched*
         before an earlier blocking grid finishes dispatching. (Completion

@@ -1,0 +1,83 @@
+"""Host-program (pure data) unit tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu.host import (
+    CopyToDevice,
+    CopyToHost,
+    HostCompute,
+    HostProgram,
+    KernelInvoke,
+)
+
+
+class TestOps:
+    def test_host_compute_duration(self):
+        assert HostCompute(12.5).duration_us == 12.5
+
+    def test_negative_host_compute_rejected(self):
+        with pytest.raises(WorkloadError, match="negative"):
+            HostCompute(-1.0)
+
+    def test_copy_ops_carry_sizes(self):
+        assert CopyToDevice(4096).nbytes == 4096
+        assert CopyToHost(128).nbytes == 128
+
+    def test_kernel_invoke_defaults(self):
+        op = KernelInvoke("MM")
+        assert op.input_name == "large"
+        assert op.repeats == 1
+
+    def test_kernel_invoke_rejects_zero_repeats(self):
+        with pytest.raises(WorkloadError, match="repeats"):
+            KernelInvoke("MM", repeats=0)
+
+    def test_ops_are_immutable(self):
+        with pytest.raises(Exception):
+            HostCompute(1.0).duration_us = 2.0
+
+
+class TestProgram:
+    def test_kernels_filters_kernel_invokes(self):
+        prog = HostProgram(
+            "p",
+            ops=[
+                HostCompute(5.0),
+                CopyToDevice(1024),
+                KernelInvoke("NN", "small"),
+                CopyToHost(1024),
+                KernelInvoke("MM", "large"),
+            ],
+        )
+        assert [op.kernel for op in prog.kernels()] == ["NN", "MM"]
+
+    def test_defaults(self):
+        prog = HostProgram("p")
+        assert prog.ops == []
+        assert prog.priority == 0
+        assert not prog.loop_forever
+
+
+class TestSingleKernelFactory:
+    def test_plain_invocation(self):
+        prog = HostProgram.single_kernel("p", "SPMV", "small", priority=2)
+        assert prog.name == "p"
+        assert prog.priority == 2
+        assert prog.ops == [KernelInvoke("SPMV", "small")]
+
+    def test_start_delay_prepends_host_compute(self):
+        prog = HostProgram.single_kernel(
+            "p", "SPMV", "small", start_delay_us=30.0
+        )
+        assert prog.ops == [HostCompute(30.0), KernelInvoke("SPMV", "small")]
+
+    def test_zero_delay_adds_no_compute_op(self):
+        prog = HostProgram.single_kernel("p", "VA", "trivial",
+                                         start_delay_us=0.0)
+        assert prog.ops == [KernelInvoke("VA", "trivial")]
+
+    def test_loop_forever_flag_propagates(self):
+        prog = HostProgram.single_kernel("p", "VA", "large",
+                                         loop_forever=True)
+        assert prog.loop_forever

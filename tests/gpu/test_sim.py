@@ -131,6 +131,35 @@ class TestRun:
         with pytest.raises(SimulationError, match="budget"):
             sim.run()
 
+    def test_event_budget_exhaustion_carries_diagnostics(self):
+        """A blown budget must name the culprit: the firing event, the
+        backlog size, and the next queued labels."""
+        sim = Simulator(max_events=3)
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda: None, label=f"e{i}")
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        msg = str(exc.value)
+        assert "event budget exceeded (3 events)" in msg
+        assert "'e3'" in msg               # the event that blew the budget
+        assert "t=4.000us" in msg          # clock had advanced to it
+        assert "pending=2" in msg          # backlog size at failure
+        assert "next events: [e4@5.000us, e5@6.000us]" in msg
+        assert "runaway scheduling loop" in msg
+
+    def test_max_events_is_adjustable_at_runtime(self):
+        sim = Simulator(max_events=3)
+        for _ in range(6):
+            sim.schedule(1.0, lambda: None)
+        sim.max_events = 10  # raise the cap before running
+        sim.run()
+        assert sim.processed_events == 6
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_max_events_rejects_nonpositive(self, sim, bad):
+        with pytest.raises(SimulationError, match="positive"):
+            sim.max_events = bad
+
     def test_trace_hook_sees_events(self, sim):
         seen = []
         sim.set_trace(lambda ev: seen.append(ev.label))

@@ -1,0 +1,80 @@
+"""DMA engine tests: cost model, per-direction FIFO, cross-direction
+overlap."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gpu.device import CostModel
+from repro.gpu.transfer import Direction, DMAEngine
+
+MB = 1_000_000
+
+
+def copy_time(costs, nbytes):
+    return costs.transfer_time_us(nbytes)
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def dma(sim, costs):
+    return DMAEngine(sim, costs)
+
+
+class TestCostModel:
+    def test_zero_bytes_is_free(self, costs):
+        assert costs.transfer_time_us(0) == 0.0
+
+    def test_latency_plus_bandwidth(self, costs):
+        # 10 Gb/s = 1250 bytes/us; 1 MB -> 5us latency + 800us wire time
+        assert costs.transfer_time_us(MB) == pytest.approx(805.0)
+
+    def test_time_grows_linearly_in_size(self, costs):
+        t1 = costs.transfer_time_us(MB)
+        t2 = costs.transfer_time_us(2 * MB)
+        assert t2 - t1 == pytest.approx(t1 - costs.pcie_latency_us)
+
+    def test_negative_size_rejected(self, costs):
+        with pytest.raises(ResourceError, match="negative"):
+            costs.transfer_time_us(-1)
+
+
+class TestFIFOChannels:
+    def test_copy_completes_after_modelled_time(self, sim, dma, costs):
+        done = []
+        dma.copy(Direction.H2D, MB, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [copy_time(costs, MB)]
+
+    def test_same_direction_copies_serialize(self, sim, dma, costs):
+        """One engine per direction: the second H2D copy waits."""
+        done = []
+        dma.copy(Direction.H2D, MB, lambda: done.append(sim.now))
+        dma.copy(Direction.H2D, MB, lambda: done.append(sim.now))
+        sim.run()
+        t = copy_time(costs, MB)
+        assert done == [pytest.approx(t), pytest.approx(2 * t)]
+
+    def test_same_direction_copies_preserve_order(self, sim, dma):
+        order = []
+        for tag, size in (("big", 4 * MB), ("small", 1)):
+            dma.copy(Direction.D2H, size, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["big", "small"]  # FIFO, not shortest-first
+
+    def test_opposite_directions_overlap(self, sim, dma, costs):
+        """H2D and D2H are separate engines, as on real hardware."""
+        done = []
+        dma.copy(Direction.H2D, MB, lambda: done.append(("h2d", sim.now)))
+        dma.copy(Direction.D2H, MB, lambda: done.append(("d2h", sim.now)))
+        end = sim.run()
+        t = copy_time(costs, MB)
+        assert end == pytest.approx(t)  # full overlap, no serialization
+        assert {name for name, _ in done} == {"h2d", "d2h"}
+
+    def test_on_done_is_optional(self, sim, dma):
+        dma.copy(Direction.H2D, 1024)  # must not raise
+        sim.run()

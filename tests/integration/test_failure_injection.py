@@ -1,4 +1,9 @@
-"""Failure injection and edge-case robustness tests."""
+"""Failure injection and edge-case robustness tests.
+
+Several tests run under the shared invariant monitors from
+:mod:`repro.validate` — the same ones the fuzzer installs — so an
+injected fault that corrupts scheduler state fails loudly at the event
+where it happens, not via a downstream assertion."""
 
 import pytest
 
@@ -8,6 +13,7 @@ from repro.errors import RuntimeEngineError
 from repro.gpu.gpu import SimulatedGPU
 from repro.gpu.sim import Simulator
 from repro.runtime.engine import FlepRuntime, RuntimeConfig
+from repro.validate import install_monitors
 
 
 class TestMispredictions:
@@ -18,10 +24,12 @@ class TestMispredictions:
             policy="hpf", device=suite.device, suite=suite,
             config=RuntimeConfig(oracle_model=False),  # real (noisy) models
         )
+        monitors = install_monitors(system, require_complete=True)
         system.submit_at(0.0, "long", "VA", "large")
         for i, k in enumerate(("SPMV", "MM", "PL", "MD")):
             system.submit_at(50.0 + i * 10, f"w{i}", k, "small")
         result = system.run()
+        monitors.finalize()
         assert result.all_finished
 
     def test_oracle_vs_ridge_turnaround_gap_is_small(self, harness):
@@ -71,6 +79,7 @@ class TestEdgeCases:
 
         rt = FlepRuntime(sim, gpu, suite, Noop(),
                          RuntimeConfig(oracle_model=True))
+        monitors = install_monitors(rt)
         inv = rt.submit("p", "NN", "large")
         rt.schedule_to_gpu(inv)
         sim.run(until=500.0)
@@ -78,6 +87,7 @@ class TestEdgeCases:
         # second write while draining (host double-signals)
         inv.flag.host_write(suite.device.num_sms)
         sim.run(until=2_000.0)
+        monitors.finalize()
         assert inv.pool.outstanding == 0
         assert inv.pool.done + inv.pool.remaining == inv.pool.total
 
@@ -86,9 +96,11 @@ class TestEdgeCases:
             policy="hpf", device=suite.device, suite=suite,
             config=RuntimeConfig(oracle_model=True),
         )
+        monitors = install_monitors(system, require_complete=True)
         for i in range(12):
             system.submit_at(0.0, f"p{i}", "SPMV", "trivial", priority=0)
         result = system.run()
+        monitors.finalize()
         assert result.all_finished
 
     def test_interleaved_policies_do_not_share_state(self, suite):

@@ -1,0 +1,124 @@
+"""Workload-fuzzer tests: deterministic generation, shrinking, replay
+tokens, and the planted-defect acceptance path."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    decode_case,
+    encode_case,
+    fuzz,
+    generate_case,
+    run_case,
+    shrink,
+)
+from repro.validate.fuzz import _INPUTS, _POLICIES, MODES
+
+
+class TestGeneration:
+    def test_same_seed_same_case(self):
+        assert generate_case(7) == generate_case(7)
+
+    def test_different_seeds_differ_somewhere(self):
+        cases = {generate_case(s) for s in range(20)}
+        assert len(cases) > 1
+
+    def test_fields_stay_in_domain(self):
+        for seed in range(50):
+            case = generate_case(seed)
+            assert case.mode in MODES
+            assert case.policy in _POLICIES
+            if case.mode == "mps":
+                assert case.policy == "fifo"  # MPS has no FLEP policy
+            assert 2 <= len(case.jobs) <= 5
+            for job in case.jobs:
+                assert job.input_name in _INPUTS
+                assert 0 <= job.priority <= 2
+                assert 0.0 <= job.arrival_us <= 3000.0
+            arrivals = [j.arrival_us for j in case.jobs]
+            assert arrivals == sorted(arrivals)
+
+    def test_unknown_plant_rejected(self):
+        with pytest.raises(ValidationError, match="plant"):
+            generate_case(0, plant="nonsense")
+
+
+class TestReplayTokens:
+    def test_roundtrip_is_identity(self):
+        for seed in (0, 3, 42):
+            case = generate_case(seed, plant="sm-budget-off-by-one")
+            assert decode_case(encode_case(case)) == case
+
+    def test_bare_integer_token_regenerates_from_seed(self):
+        assert decode_case("17") == generate_case(17)
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_case("cnot-a-real-token")
+
+    def test_tokens_are_shell_safe(self):
+        token = encode_case(generate_case(5))
+        assert token.startswith("c")
+        assert all(ch.isalnum() or ch in "-_" for ch in token)
+
+
+class TestRunCase:
+    def test_clean_case_reports_checks(self):
+        result = run_case(generate_case(0))
+        assert result.ok, result.error
+        assert "monitors" in result.checks
+
+    def test_planted_case_fails_with_invariant_violation(self):
+        # seed 1's mix drives an SM to its exact thread budget, which the
+        # one-short planted spec must flag (seed 0 never fills an SM)
+        result = run_case(generate_case(1, plant="sm-budget-off-by-one"))
+        assert not result.ok
+        assert result.error_type == "InvariantViolation"
+        assert "monitor=resource-budget" in result.error
+
+
+class TestShrink:
+    def test_shrink_refuses_passing_case(self):
+        with pytest.raises(ValidationError, match="passing"):
+            shrink(generate_case(0))
+
+    def test_planted_case_shrinks_to_one_minimal_job(self):
+        case = generate_case(1, plant="sm-budget-off-by-one")
+        minimal, steps = shrink(case)
+        assert steps > 0
+        assert len(minimal.jobs) == 1
+        assert minimal.jobs[0].arrival_us == 0.0
+        assert minimal.plant == case.plant  # the defect is preserved
+        # the minimal case still reproduces the same failure
+        replay = run_case(minimal)
+        assert not replay.ok
+        assert replay.error_type == "InvariantViolation"
+
+    def test_minimal_case_replays_through_its_token(self):
+        case = generate_case(1, plant="sm-budget-off-by-one")
+        minimal, _ = shrink(case)
+        decoded = decode_case(encode_case(minimal))
+        assert decoded == minimal
+        assert not run_case(decoded).ok
+
+
+class TestCampaign:
+    def test_small_clean_campaign(self):
+        report = fuzz(budget=5, seed=0)
+        assert report.ok
+        assert report.cases_run == 5
+        assert "all invariants held" in report.format()
+
+    def test_planted_campaign_produces_replay_line(self):
+        report = fuzz(budget=3, seed=0, plant="sm-budget-off-by-one",
+                      max_failures=1)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.error_type == "InvariantViolation"
+        assert failure.replay_command.startswith("flep fuzz --replay c")
+        assert "reproduce with: flep fuzz --replay" in report.format()
+
+    def test_campaign_progress_callback(self):
+        seen = []
+        fuzz(budget=3, seed=0, on_progress=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2]

@@ -1,0 +1,110 @@
+"""Differential-oracle tests.
+
+Oracle 1: a never-preempted temporal-FLEP run must leave a timeline
+*identical* to the raw persistent-thread baseline — FLEP's transformation
+may add no cost when no preemption happens.
+Oracle 2: oracle-model HPF must order completions like a zero-overhead
+brute-force preemptive-priority/SRT schedule on small instances."""
+
+import pytest
+
+from repro.errors import OracleMismatch, ValidationError
+from repro.validate import (
+    DifferentialReport,
+    assert_hpf_matches_brute_force,
+    assert_temporal_matches_baseline,
+    hpf_differential,
+    hpf_reference_order,
+    temporal_differential,
+)
+
+
+class TestReport:
+    def test_raise_on_mismatch_passes_through_matches(self):
+        report = DifferentialReport(oracle="x", matches=True)
+        assert report.raise_on_mismatch() is report
+
+    def test_raise_on_mismatch_raises_with_detail(self):
+        report = DifferentialReport(
+            oracle="x", matches=False, detail="first divergence at #3"
+        )
+        with pytest.raises(OracleMismatch, match="first divergence"):
+            report.raise_on_mismatch()
+
+
+class TestTemporalIdentity:
+    def test_single_job_timeline_is_identical(self, suite):
+        report = temporal_differential(
+            [(0.0, "VA", "trivial")], device=suite.device, suite=suite
+        )
+        assert report.matches, report.detail
+        assert "identical" in report.detail
+
+    def test_serial_jobs_timeline_is_identical(self, suite):
+        report = assert_temporal_matches_baseline(
+            [(0.0, "SPMV", "trivial"), (5_000.0, "MM", "trivial")],
+            device=suite.device, suite=suite,
+        )
+        assert report.matches
+
+    def test_report_counts_compared_intervals(self, suite):
+        report = temporal_differential(
+            [(0.0, "VA", "trivial")], device=suite.device, suite=suite
+        )
+        assert report.baseline  # interval keys, not empty
+        assert report.baseline == report.candidate
+
+
+class TestHPFReferenceOrder:
+    def test_empty_instance(self):
+        assert hpf_reference_order([]) == []
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            hpf_reference_order([(0.0, 0, 0.0)])
+
+    def test_priority_preemption(self):
+        # low-priority 100us job; high-priority 20us job lands at t=10
+        order = hpf_reference_order([(0.0, 0, 100.0), (10.0, 1, 20.0)])
+        assert order == [(1, 30.0), (0, 120.0)]
+
+    def test_srt_within_priority(self):
+        # same priority: the shorter arrival runs to completion first
+        # only if preempting pays off in the reference (zero overhead,
+        # so SRT always wins the processor)
+        order = hpf_reference_order([(0.0, 0, 100.0), (10.0, 0, 20.0)])
+        assert order[0][0] == 1  # the 20us job finishes first
+        assert order[1] == (0, 120.0)
+
+    def test_idle_gap_between_arrivals(self):
+        order = hpf_reference_order([(0.0, 0, 10.0), (50.0, 0, 10.0)])
+        assert order == [(0, 10.0), (1, 60.0)]
+
+    def test_tie_breaks_are_deterministic(self):
+        jobs = [(0.0, 0, 10.0), (0.0, 0, 10.0)]
+        assert hpf_reference_order(jobs) == hpf_reference_order(jobs)
+
+
+class TestHPFDifferential:
+    def test_empty_instance_rejected(self, suite):
+        with pytest.raises(ValidationError):
+            hpf_differential([], device=suite.device, suite=suite)
+
+    def test_priority_pair_matches_reference(self, suite):
+        report = assert_hpf_matches_brute_force(
+            [(0.0, 0, "NN", "small"), (200.0, 1, "SPMV", "trivial")],
+            device=suite.device, suite=suite,
+        )
+        assert report.matches
+        assert report.baseline  # the reference schedule is attached
+
+    def test_three_job_mixed_priorities_match(self, suite):
+        report = hpf_differential(
+            [
+                (0.0, 0, "MD", "small"),
+                (100.0, 2, "SPMV", "trivial"),
+                (150.0, 1, "VA", "trivial"),
+            ],
+            device=suite.device, suite=suite,
+        )
+        assert report.matches, report.detail

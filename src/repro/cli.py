@@ -3,6 +3,8 @@
     flep list                      # enumerate the experiments
     flep run fig8 [fig10 ...]      # regenerate specific tables/figures
     flep run all --json            # the whole evaluation section, as JSON
+    flep bench --budget small      # macro-benchmarks -> BENCH_<date>_<sha>.json
+    flep bench --compare OLD.json  # per-metric deltas; exit 3 on regression
     flep compile VA                # show a benchmark's transformed source
     flep tune NN                   # run the offline amortizing-factor tuner
     flep trace --export out.json   # co-run + Chrome/Perfetto trace export
@@ -35,6 +37,7 @@ def _cmd_run(args) -> int:
     import json
 
     from .experiments import EXPERIMENTS
+    from .obs import SimProfiler, profiled
 
     names: List[str] = args.experiments
     if names == ["all"]:
@@ -47,12 +50,18 @@ def _cmd_run(args) -> int:
     as_json = []
     for name in names:
         started = time.time()
-        report = EXPERIMENTS[name].run()
+        prof = SimProfiler()
+        with profiled(prof):
+            report = EXPERIMENTS[name].run()
+        engine = prof.engine_block()
         if args.json:
-            as_json.append(report.as_dict())
+            as_json.append({**report.as_dict(), "engine": engine})
         else:
             print(report.format())
-            print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+            print(f"[{name} regenerated in {time.time() - started:.1f}s: "
+                  f"{engine['events']} events, "
+                  f"{engine['events_per_sec']:,.0f} events/s, "
+                  f"peak queue {engine['peak_queue_depth']}]")
             print()
     if args.json:
         print(json.dumps(as_json, indent=2, default=str))
@@ -84,7 +93,8 @@ def _cmd_trace(args) -> int:
     from .core.flep import FlepSystem
 
     system = FlepSystem(
-        policy=args.policy, trace=True, observability=bool(args.export)
+        policy=args.policy, trace=True, observability=bool(args.export),
+        profiler=bool(args.export),
     )
     system.submit_at(0.0, f"low_{args.low}", args.low, "large", priority=0)
     system.submit_at(
@@ -92,6 +102,9 @@ def _cmd_trace(args) -> int:
     )
     result = system.run()
     if args.export:
+        n = system.prof.export_to_tracer(system.obs.tracer)
+        print(f"[profiler: {n} queue/SM/stall records added to the trace]",
+              file=sys.stderr)
         system.obs.tracer.write_chrome_trace(args.export)
         print(f"wrote Chrome trace to {args.export} "
               f"(load in chrome://tracing or https://ui.perfetto.dev)")
@@ -116,7 +129,7 @@ def _cmd_trace(args) -> int:
 
 def _cmd_stats(args) -> int:
     from .experiments import EXPERIMENTS
-    from .obs import observed
+    from .obs import SimProfiler, observed, profiled
 
     names: List[str] = args.experiments or ["fig8"]
     if names == ["all"]:
@@ -126,7 +139,8 @@ def _cmd_stats(args) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    with observed() as hub:
+    prof = SimProfiler()
+    with observed() as hub, profiled(prof):
         for name in names:
             started = time.time()
             EXPERIMENTS[name].run()
@@ -136,6 +150,8 @@ def _cmd_stats(args) -> int:
         text = hub.metrics.render_prometheus()
     else:
         text = hub.metrics.format_summary()
+    if args.profile:
+        text += "\n\n" + prof.format_summary()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -148,7 +164,7 @@ def _cmd_stats(args) -> int:
 def _cmd_serve(args) -> int:
     import json as _json
 
-    from .obs import Observability
+    from .obs import Observability, SimProfiler, profiled
     from .serving import (
         PoissonLoadGen,
         ServingConfig,
@@ -171,27 +187,32 @@ def _cmd_serve(args) -> int:
                 rate_limit_rps=args.rate_limit,
             ),
         ])
-        server = ServingSystem(
-            tenants,
-            ServingConfig(
-                mode=mode, policy=args.policy, admission=admission,
+        prof = SimProfiler()
+        with profiled(prof):
+            server = ServingSystem(
+                tenants,
+                ServingConfig(
+                    mode=mode, policy=args.policy, admission=admission,
+                    seed=args.seed,
+                ),
+                observability=hub,
+            )
+            server.submit_at(0.0, "batch", args.batch, "large")
+            server.add_generator(PoissonLoadGen(
+                tenant="interactive",
+                kernels=args.kernels.split(","),
+                rate_per_ms=args.rate,
+                duration_ms=args.duration,
                 seed=args.seed,
-            ),
-            observability=hub,
-        )
-        server.submit_at(0.0, "batch", args.batch, "large")
-        server.add_generator(PoissonLoadGen(
-            tenant="interactive",
-            kernels=args.kernels.split(","),
-            rate_per_ms=args.rate,
-            duration_ms=args.duration,
-            seed=args.seed,
-            input_names=(args.input,),
-            priority=1,
-        ))
-        report = server.run()
+                input_names=(args.input,),
+                priority=1,
+            ))
+            report = server.run()
         if args.json:
-            as_json.append({"mode": mode, **report.as_dict()})
+            as_json.append({
+                "mode": mode, **report.as_dict(),
+                "engine": prof.engine_block(),
+            })
         else:
             print(f"=== {mode} (policy={args.policy}, "
                   f"admission={'on' if server.config.admission_enabled else 'off'}) ===")
@@ -201,6 +222,49 @@ def _cmd_serve(args) -> int:
         print(_json.dumps(as_json, indent=2, default=str))
     if args.prometheus:
         print(hub.metrics.render_prometheus())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from .obs import (
+        compare_reports,
+        default_bench_filename,
+        load_bench_report,
+        run_bench,
+    )
+
+    old = load_bench_report(args.compare) if args.compare else None
+    if args.against:
+        # File-vs-file mode: compare two existing reports, run nothing.
+        if old is None:
+            print("--against requires --compare OLD.json", file=sys.stderr)
+            return 2
+        new = load_bench_report(args.against)
+    else:
+        def progress(name, row):
+            print(f"  [{name}: {row['events']} events in "
+                  f"{row['wall_s']:.2f}s]", file=sys.stderr)
+
+        new = run_bench(
+            budget=args.budget, only=args.scenario or None,
+            on_progress=progress,
+        )
+        path = args.output or default_bench_filename(new)
+        new.write(path)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(new.as_dict(), indent=2))
+    else:
+        print(new.format())
+    if old is None:
+        return 0
+    cmp = compare_reports(old, new, threshold=args.threshold)
+    print()
+    print(cmp.format())
+    if not cmp.ok and not args.warn_only:
+        return 3
     return 0
 
 
@@ -299,6 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Prometheus text exposition instead of summary")
     stats_p.add_argument("-o", "--output", default=None,
                          help="write to a file instead of stdout")
+    stats_p.add_argument("--profile", action="store_true",
+                         help="append the simulator self-profile summary")
     stats_p.set_defaults(fn=_cmd_stats)
 
     comp_p = sub.add_parser("compile", help="show transformed source")
@@ -310,6 +376,34 @@ def build_parser() -> argparse.ArgumentParser:
     tune_p = sub.add_parser("tune", help="offline amortizing-factor tuning")
     tune_p.add_argument("benchmark", help="benchmark name or 'all'")
     tune_p.set_defaults(fn=_cmd_tune)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the deterministic macro-benchmark suite and write a "
+             "schema-versioned BENCH_<date>_<sha>.json snapshot",
+    )
+    bench_p.add_argument("--budget", default="default",
+                         choices=["small", "default", "large"],
+                         help="workload scale (small: CI smoke)")
+    bench_p.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME",
+                         help="run only this scenario (repeatable)")
+    bench_p.add_argument("-o", "--output", default=None, metavar="PATH",
+                         help="report path (default: BENCH_<date>_<sha>.json)")
+    bench_p.add_argument("--compare", default=None, metavar="OLD.json",
+                         help="diff against a previous snapshot; exit 3 on "
+                              "a gated-metric regression")
+    bench_p.add_argument("--against", default=None, metavar="NEW.json",
+                         help="with --compare: diff two existing files "
+                              "instead of running the suite")
+    bench_p.add_argument("--threshold", type=float, default=0.15,
+                         help="relative drop counted as a regression "
+                              "(default: 0.15)")
+    bench_p.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0 (CI smoke)")
+    bench_p.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a table")
+    bench_p.set_defaults(fn=_cmd_bench)
 
     rep_p = sub.add_parser(
         "report", help="regenerate all results into a markdown file"

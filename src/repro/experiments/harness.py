@@ -87,6 +87,10 @@ class CoRunOutcome:
     solo_us: Dict[Tuple[str, str, str], float] = field(default_factory=dict)
     waited_us: Dict[Tuple[str, str, str], float] = field(default_factory=dict)
     preemptions: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    #: Event-loop accounting from the executor's simulator (the shared
+    #: :class:`~repro.gpu.sim.EventLoopStats` counters, always on).
+    events_processed: int = 0
+    peak_pending: int = 0
 
     def keys_in_order(self, scenario: Scenario) -> List[Tuple[str, str, str]]:
         return [(e.process, e.kernel, e.input_name) for e in scenario.entries]
@@ -140,7 +144,11 @@ class CoRunHarness:
         result = corun.run()
         if not result.all_finished:
             raise ExperimentError("MPS co-run did not finish")
-        outcome = CoRunOutcome("mps", result.makespan_us)
+        outcome = CoRunOutcome(
+            "mps", result.makespan_us,
+            events_processed=corun.sim.stats.processed,
+            peak_pending=corun.sim.stats.peak_pending,
+        )
         for e, inv in handles:
             outcome.turnaround_us[(e.process, e.kernel, e.input_name)] = (
                 inv.turnaround_us
@@ -163,7 +171,11 @@ class CoRunHarness:
         result = system.run()
         if not result.all_finished:
             raise ExperimentError(f"FLEP co-run ({policy}) did not finish")
-        outcome = CoRunOutcome(f"flep:{policy}", result.makespan_us)
+        outcome = CoRunOutcome(
+            f"flep:{policy}", result.makespan_us,
+            events_processed=system.sim.stats.processed,
+            peak_pending=system.sim.stats.peak_pending,
+        )
         for inv in result.invocations:
             key = (inv.process, inv.kspec.name, inv.inp.name)
             outcome.turnaround_us[key] = inv.record.turnaround_us
@@ -180,7 +192,11 @@ class CoRunHarness:
             for e in scenario.entries
         ]
         result = corun.run()
-        outcome = CoRunOutcome("reorder", result.makespan_us)
+        outcome = CoRunOutcome(
+            "reorder", result.makespan_us,
+            events_processed=corun.sim.stats.processed,
+            peak_pending=corun.sim.stats.peak_pending,
+        )
         for e, inv in handles:
             outcome.turnaround_us[(e.process, e.kernel, e.input_name)] = (
                 inv.turnaround_us

@@ -28,6 +28,8 @@ import math
 from typing import Optional, TYPE_CHECKING
 
 from ..errors import SchedulingError, SimulationError
+from ..obs.profiler import NULL_PROFILER
+from ..obs.recorder import NULL_OBS
 from .events import EventHandle, maybe_cancel
 from .kernel import KernelMode
 from .memory import should_yield
@@ -58,6 +60,13 @@ class CTAContext:
         self.tasks_done = 0
         self.started_at = grid.sim.now
         self.ended_at: Optional[float] = None
+        # Instrumentation handles, cached as plain attributes: the batch
+        # loop is the simulator's hottest path and must not pay property
+        # getters per batch. Hubs/profilers are installed on the device
+        # before launch, so context-creation-time capture is safe.
+        device = grid.device
+        self._obs = device.obs if device is not None else NULL_OBS
+        self._prof = device.prof if device is not None else NULL_PROFILER
         # per-context task-time multiplier (input irregularity)
         self.task_mult = grid.kernel.task_model.sample_multiplier(grid.rng)
 
@@ -185,12 +194,17 @@ class CTAContext:
         self.tasks_done += batch
         self.grid.pool.finish(batch)
         if self._is_persistent:
-            device = self.grid.device
-            if device is not None and device.obs.enabled:
+            obs = self._obs
+            prof = self._prof
+            if obs.enabled or prof.enabled:
                 # charged at batch granularity so the uninstrumented hot
                 # path stays O(batches), not O(tasks)
-                device.obs.tasks_pulled(batch)
-                device.obs.flag_polled(self._polls_in_batch(batch))
+                polls = self._polls_in_batch(batch)
+                if obs.enabled:
+                    obs.tasks_pulled(batch)
+                    obs.flag_polled(polls)
+                if prof.enabled:
+                    prof.on_batch(batch, polls)
             self._since_poll = (self._since_poll + batch) % self._amortize
         self._batch_size = 0
         self.grid.notify_progress()
@@ -302,16 +316,20 @@ class CTAContext:
             return
         self._yield_event = None
         pool = self.grid.pool
-        device = self.grid.device
-        if device is not None and device.obs.enabled:
+        obs = self._obs
+        prof = self._prof
+        if obs.enabled or prof.enabled:
             # the polls performed up to (and including) the yielding poll
             polled = 1
             if self._batch_size:
                 polled += self._polls_in_batch(
                     min(finished_in_batch, self._batch_size)
                 )
-            device.obs.flag_polled(polled)
-            device.obs.tasks_pulled(finished_in_batch)
+            if obs.enabled:
+                obs.flag_polled(polled)
+                obs.tasks_pulled(finished_in_batch)
+            if prof.enabled:
+                prof.on_batch(finished_in_batch, polled)
         if self._batch_size:
             if finished_in_batch > self._batch_size:
                 raise SimulationError("yield finished more tasks than batch")

@@ -15,6 +15,7 @@ import random
 from typing import Callable, List, Optional
 
 from ..errors import SchedulingError
+from ..obs.profiler import NULL_PROFILER, SimProfiler
 from ..obs.recorder import NULL_OBS, Observability
 from .device import GPUDeviceSpec, tesla_k40
 from .grid import Grid, GridState
@@ -46,6 +47,7 @@ class SimulatedGPU:
         #: optional Timeline recorder (repro.gpu.trace)
         self.tracer = None
         self._obs: Observability = NULL_OBS
+        self._prof: SimProfiler = NULL_PROFILER
 
     @property
     def obs(self) -> Observability:
@@ -57,6 +59,17 @@ class SimulatedGPU:
         self._obs = hub
         for sm in self.sms:
             sm.obs = hub
+
+    @property
+    def prof(self) -> SimProfiler:
+        """Self-profiler; assigning one propagates to the SMs."""
+        return self._prof
+
+    @prof.setter
+    def prof(self, prof: SimProfiler) -> None:
+        self._prof = prof
+        for sm in self.sms:
+            sm.prof = prof
 
     # ------------------------------------------------------------------
     # public API

@@ -12,9 +12,38 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
+from ..obs.profiler import NULL_PROFILER
 from ..obs.recorder import NULL_OBS
 from .clock import Clock
 from .events import Event, EventHandle
+
+
+class EventLoopStats:
+    """The engine's one set of event-loop counters.
+
+    A single instance per :class:`Simulator` is the shared source of
+    truth for event accounting: the ``max_events`` exhaustion check, the
+    ``processed_events`` property, and the self-profiler
+    (:class:`repro.obs.profiler.SimProfiler`) all read the same fields,
+    so there is no double bookkeeping between diagnostics and profiling.
+    """
+
+    __slots__ = ("processed", "scheduled", "cancelled", "peak_pending")
+
+    def __init__(self):
+        self.processed = 0       # events executed (cancelled pops excluded)
+        self.scheduled = 0       # events ever pushed onto the heap
+        self.cancelled = 0       # cancelled events dropped at the head
+        self.peak_pending = 0    # high-water mark of the heap length
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot for reports and the `engine` JSON block."""
+        return {
+            "processed": self.processed,
+            "scheduled": self.scheduled,
+            "cancelled": self.cancelled,
+            "peak_pending": self.peak_pending,
+        }
 
 
 class Simulator:
@@ -24,13 +53,16 @@ class Simulator:
         self.clock = Clock(start_time)
         self._heap: List[Event] = []
         self._seq = 0
-        self._processed = 0
+        self.stats = EventLoopStats()
         self._max_events = max_events
         self._running = False
         self._trace: Optional[Callable[[Event], None]] = None
         #: observability recorder (repro.obs); the shared null recorder
         #: keeps the per-event cost to one attribute check when disabled
         self.obs = NULL_OBS
+        #: hot-path self-profiler (repro.obs.profiler); same null/guard
+        #: pattern as ``obs`` — one attribute check when uninstalled
+        self.prof = NULL_PROFILER
 
     # ------------------------------------------------------------------
     # scheduling API
@@ -42,7 +74,7 @@ class Simulator:
     @property
     def processed_events(self) -> int:
         """Number of events executed so far (cancelled pops not counted)."""
-        return self._processed
+        return self.stats.processed
 
     @property
     def max_events(self) -> int:
@@ -82,6 +114,11 @@ class Simulator:
         self._seq += 1
         ev = Event(time, self._seq, callback, label=label, priority=priority)
         heapq.heappush(self._heap, ev)
+        st = self.stats
+        st.scheduled += 1
+        depth = len(self._heap)
+        if depth > st.peak_pending:
+            st.peak_pending = depth
         return EventHandle(ev)
 
     def call_soon(
@@ -114,13 +151,16 @@ class Simulator:
             return False
         ev = heapq.heappop(self._heap)
         self.clock.advance_to(ev.time)
-        self._processed += 1
-        if self._processed > self._max_events:
+        st = self.stats
+        st.processed += 1
+        if st.processed > self._max_events:
             raise SimulationError(self._exhaustion_diagnostics(ev))
         if self._trace is not None:
             self._trace(ev)
         if self.obs.enabled:
             self.obs.sim_event(ev.label)
+        if self.prof.enabled:
+            self.prof.on_event(ev.label, len(self._heap))
         ev.callback()
         return True
 
@@ -169,9 +209,10 @@ class Simulator:
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self.stats.cancelled += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self.now:.3f}us, pending={len(self._heap)}, "
-            f"processed={self._processed})"
+            f"processed={self.stats.processed})"
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Set
 
 from ..errors import ResourceError
+from ..obs.profiler import NULL_PROFILER
 from ..obs.recorder import NULL_OBS
 from .device import GPUDeviceSpec
 from .kernel import ResourceUsage
@@ -31,6 +32,8 @@ class SM:
         self.used_smem = 0
         #: observability recorder; set by the owning device
         self.obs = NULL_OBS
+        #: hot-path self-profiler; set by the owning device
+        self.prof = NULL_PROFILER
 
     # -- footprint math --------------------------------------------------
     def _footprint(self, usage: ResourceUsage):
@@ -74,6 +77,8 @@ class SM:
         self.used_smem += smem
         if self.obs.enabled:
             self.obs.sm_admitted(self.sm_id, len(self.resident))
+        if self.prof.enabled:
+            self.prof.on_sm_admit(self.sm_id, len(self.resident))
 
     def release(self, context, usage: ResourceUsage) -> None:
         """Remove a CTA context, returning its resources."""
@@ -91,6 +96,8 @@ class SM:
             )
         if self.obs.enabled:
             self.obs.sm_released(self.sm_id, len(self.resident))
+        if self.prof.enabled:
+            self.prof.on_sm_release(self.sm_id, len(self.resident))
 
     @property
     def idle(self) -> bool:

@@ -14,6 +14,18 @@ span model. Quick start::
     system.obs.tracer.write_chrome_trace("trace.json")   # chrome://tracing
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BUDGETS,
+    BenchReport,
+    BenchScenario,
+    CompareResult,
+    SCENARIOS,
+    compare_reports,
+    default_bench_filename,
+    load_bench_report,
+    run_bench,
+)
 from .metrics import (
     Counter,
     DEFAULT_US_BUCKETS,
@@ -22,6 +34,16 @@ from .metrics import (
     MetricsError,
     MetricsRegistry,
     parse_prometheus,
+)
+from .profiler import (
+    LatencyStat,
+    NULL_PROFILER,
+    NullSimProfiler,
+    SimProfiler,
+    get_global_profiler,
+    install_global_profiler,
+    profiled,
+    uninstall_global_profiler,
 )
 from .recorder import (
     NULL_OBS,
@@ -35,22 +57,40 @@ from .recorder import (
 from .tracer import CounterSample, InstantEvent, Span, SpanTracer
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BUDGETS",
+    "BenchReport",
+    "BenchScenario",
+    "CompareResult",
     "Counter",
     "CounterSample",
     "DEFAULT_US_BUCKETS",
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "LatencyStat",
     "MetricsError",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_PROFILER",
     "NullObservability",
+    "NullSimProfiler",
     "Observability",
+    "SCENARIOS",
+    "SimProfiler",
     "Span",
     "SpanTracer",
+    "compare_reports",
+    "default_bench_filename",
     "get_global",
+    "get_global_profiler",
     "install_global",
+    "install_global_profiler",
+    "load_bench_report",
     "observed",
     "parse_prometheus",
+    "profiled",
+    "run_bench",
     "uninstall_global",
+    "uninstall_global_profiler",
 ]

@@ -163,13 +163,21 @@ class SpanTracer:
 
     def counter(self, name: str, process: str = "flep", **values) -> None:
         """Sample a counter track (renders as a stacked area chart)."""
+        self.counter_at(name, self.now, process=process, **values)
+
+    def counter_at(
+        self, name: str, at_us: float, process: str = "flep", **values
+    ) -> None:
+        """Record a counter sample at an explicit (past) timestamp —
+        retrospective instrumentation, e.g. the self-profiler exporting
+        its decimated timelines after a run."""
         if not values:
             raise ObservabilityError("counter sample needs at least one value")
         self.counters.append(
             CounterSample(
                 name,
                 process,
-                self.now,
+                at_us,
                 tuple(sorted((k, float(v)) for k, v in values.items())),
             )
         )

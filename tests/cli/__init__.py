@@ -1,0 +1,1 @@
+"""CLI-level tests driving ``repro.cli.main`` in process."""

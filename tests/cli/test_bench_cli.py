@@ -1,0 +1,136 @@
+"""`flep bench` / engine-block CLI tests, driven in process.
+
+The bench subcommand runs against a tiny injected scenario table
+(monkeypatched ``SCENARIOS``) so the whole file costs well under a
+second; the regression-exit-code tests compare two files and run no
+simulation at all.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import BENCH_SCHEMA, BenchScenario
+from repro.obs import bench as bench_mod
+
+
+def _tiny_scenario(scale):
+    from repro.core.flep import FlepSystem
+    from repro.runtime.engine import RuntimeConfig
+
+    system = FlepSystem(
+        policy="hpf", config=RuntimeConfig(oracle_model=True)
+    )
+    system.submit_at(0.0, "solo", "VA", "trivial", priority=0)
+    system.run()
+    return {}
+
+
+@pytest.fixture
+def tiny_scenarios(monkeypatch):
+    monkeypatch.setattr(
+        bench_mod, "SCENARIOS",
+        {"tiny": BenchScenario("tiny", _tiny_scenario, "one solo kernel")},
+    )
+
+
+def _write_slowed(src_path, dst_path, factor):
+    with open(src_path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    for s in data["scenarios"]:
+        s["events_per_sec"] *= factor
+        s["sim_us_per_wall_s"] *= factor
+    with open(dst_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh)
+
+
+class TestBenchCommand:
+    def test_bench_writes_schema_versioned_report(
+        self, tiny_scenarios, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_new.json"
+        assert main(["bench", "--budget", "small", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["budget"] == "small"
+        row = data["scenarios"][0]
+        assert row["name"] == "tiny"
+        assert row["events"] > 0 and row["events_per_sec"] > 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_bench_json_output(self, tiny_scenarios, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--budget", "small", "-o", str(out),
+                     "--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["schema"] == BENCH_SCHEMA
+
+    def test_compare_against_self_passes(
+        self, tiny_scenarios, tmp_path
+    ):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--budget", "small", "-o", str(out)]) == 0
+        assert main(["bench", "--compare", str(out),
+                     "--against", str(out)]) == 0
+
+    def test_synthetic_slowdown_exits_3(self, tiny_scenarios, tmp_path):
+        old = tmp_path / "old.json"
+        slow = tmp_path / "slow.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        _write_slowed(old, slow, 0.8)  # 20% drop > 15% threshold
+        assert main(["bench", "--compare", str(old),
+                     "--against", str(slow)]) == 3
+
+    def test_warn_only_reports_but_exits_0(
+        self, tiny_scenarios, tmp_path, capsys
+    ):
+        old = tmp_path / "old.json"
+        slow = tmp_path / "slow.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        _write_slowed(old, slow, 0.8)
+        assert main(["bench", "--compare", str(old),
+                     "--against", str(slow), "--warn-only"]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_is_tunable_from_the_cli(
+        self, tiny_scenarios, tmp_path
+    ):
+        old = tmp_path / "old.json"
+        slow = tmp_path / "slow.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        _write_slowed(old, slow, 0.8)
+        assert main(["bench", "--compare", str(old), "--against",
+                     str(slow), "--threshold", "0.3"]) == 0
+
+    def test_against_requires_compare(self, tmp_path):
+        assert main(["bench", "--against", str(tmp_path / "x.json")]) == 2
+
+    def test_scenario_filter(self, tiny_scenarios, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--budget", "small", "-o", str(out),
+                     "--scenario", "tiny"]) == 0
+        data = json.loads(out.read_text())
+        assert [s["name"] for s in data["scenarios"]] == ["tiny"]
+
+
+class TestEngineBlocks:
+    def test_run_json_includes_engine_block(self, capsys):
+        assert main(["run", "fig16", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        engine = reports[0]["engine"]
+        assert engine["events"] > 0
+        assert engine["events_per_sec"] > 0
+        assert engine["wall_s"] > 0
+        assert engine["peak_queue_depth"] > 0
+        assert engine["sims"] >= 1
+
+    def test_serve_json_includes_engine_block(self, capsys):
+        assert main([
+            "serve", "--mode", "flep-spatial", "--duration", "5",
+            "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        engine = rows[0]["engine"]
+        assert engine["events"] > 0
+        assert engine["peak_queue_depth"] > 0

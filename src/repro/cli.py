@@ -263,6 +263,12 @@ def _cmd_bench(args) -> int:
     cmp = compare_reports(old, new, threshold=args.threshold)
     print()
     print(cmp.format())
+    if args.fail_on_drift and cmp.drifts:
+        # event-count drift is deterministic (never runner noise), so it
+        # hard-fails even under --warn-only
+        names = ", ".join(r["scenario"] for r in cmp.drifts)
+        print(f"event-count drift in: {names}", file=sys.stderr)
+        return 3
     if not cmp.ok and not args.warn_only:
         return 3
     return 0
@@ -401,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 0.15)")
     bench_p.add_argument("--warn-only", action="store_true",
                          help="report regressions but exit 0 (CI smoke)")
+    bench_p.add_argument("--fail-on-drift", action="store_true",
+                         help="exit 3 when any scenario's deterministic "
+                              "event count differs from the baseline, "
+                              "even with --warn-only")
     bench_p.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of a table")
     bench_p.set_defaults(fn=_cmd_bench)

@@ -1,0 +1,114 @@
+"""Bucketed (calendar) event queue for high-fanout scenarios.
+
+The engine's default queue is one binary heap: O(log n) per operation
+with an excellent constant. Serving-style workloads, however, hold
+thousands of far-future arrivals next to a small working set of
+near-term completions, and every push/pop sifts through the whole heap.
+A calendar queue shards events into fixed-width time buckets so the
+sift only ever sees one bucket's worth of events.
+
+This implementation is a two-level structure chosen for *determinism*
+first: buckets are keyed by ``floor(time / bucket_us)`` and stored as
+small binary heaps of the engine's ``(time, priority, seq, Event)``
+entries — the exact same ordering as the flat heap — and a lazy
+min-heap of bucket keys finds the head bucket. Equal times always land
+in the same bucket, so the global pop order is bit-identical to the
+flat heap's — asserted by the schedule-identity tests. Non-finite times
+(the persistent-thread "far future" sentinel) go to an overflow heap
+that is only consulted when every finite bucket has drained.
+
+It deliberately implements only what :class:`~repro.gpu.sim.Simulator`
+needs behind its ``schedule_at`` API: ``push``, ``peek``, ``pop`` and
+``len``. Cancellation stays lazy (the engine drops cancelled heads), so
+buckets never need random removal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+#: Default bucket width (µs): wide enough that a batch completion and
+#: its successor usually share a bucket, narrow enough that a serving
+#: sweep's arrival horizon spreads over many buckets.
+DEFAULT_BUCKET_US = 64.0
+
+
+class CalendarQueue:
+    """A deterministic bucketed priority queue of engine heap entries."""
+
+    __slots__ = ("_width", "_buckets", "_keys", "_overflow", "_len")
+
+    def __init__(self, bucket_us: float = DEFAULT_BUCKET_US):
+        if not (bucket_us > 0.0) or not math.isfinite(bucket_us):
+            raise SimulationError(
+                f"bucket_us must be positive and finite, got {bucket_us}"
+            )
+        self._width = float(bucket_us)
+        #: bucket key -> heap of (time, priority, seq, Event) entries
+        self._buckets: Dict[int, List[tuple]] = {}
+        self._keys: List[int] = []     # lazy min-heap of bucket keys
+        self._overflow: List[tuple] = []  # non-finite event times
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, time: float, priority: int, seq: int, ev: Event) -> None:
+        """Insert an entry, keyed by its time bucket."""
+        entry = (time, priority, seq, ev)
+        if math.isfinite(time):
+            key = int(time // self._width)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [entry]
+                heapq.heappush(self._keys, key)
+            else:
+                heapq.heappush(bucket, entry)
+        else:
+            heapq.heappush(self._overflow, entry)
+        self._len += 1
+
+    def _head(self) -> Optional[List[tuple]]:
+        """The bucket holding the global minimum entry, or ``None``.
+
+        Pops stale keys (whose bucket has drained) on the way; a key can
+        also be a duplicate if its bucket was re-created, which the same
+        laziness absorbs.
+        """
+        keys = self._keys
+        buckets = self._buckets
+        while keys:
+            bucket = buckets.get(keys[0])
+            if bucket:
+                return bucket
+            heapq.heappop(keys)
+        return self._overflow if self._overflow else None
+
+    def peek(self) -> Optional[Event]:
+        """The minimum event without removing it (cancelled included)."""
+        bucket = self._head()
+        return bucket[0][3] if bucket else None
+
+    def pop(self) -> Event:
+        """Remove and return the minimum event."""
+        bucket = self._head()
+        if bucket is None:
+            raise SimulationError("pop from an empty CalendarQueue")
+        entry = heapq.heappop(bucket)
+        if not bucket and bucket is not self._overflow:
+            # drop the drained bucket now; its key goes stale and the
+            # next _head() walk discards it
+            del self._buckets[int(entry[0] // self._width)]
+        self._len -= 1
+        return entry[3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalendarQueue(len={self._len}, buckets={len(self._buckets)}, "
+            f"width={self._width}us)"
+        )

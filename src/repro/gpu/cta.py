@@ -19,6 +19,14 @@ the device-visible flag value demands a yield, finishes exactly the tasks
 processed by then, returns the rest to the pool, and releases its SM.
 This reproduces Figure 4's semantics exactly while staying
 ``O(contexts x preemption epochs)`` in events.
+
+Performance note: the batch loop is the simulator's hottest path. All
+per-batch constants (task time, poll cost, amortizing factor, event
+labels) are frozen into plain attributes at context creation — kernel,
+cost model and task multiplier never change over a context's lifetime —
+and batch plans are memoized keyed on ``(batch, since_poll)``. The flag
+fast path (:attr:`PinnedFlag._demanding`) lets ``replan`` skip the
+yield-poll search entirely while no host write demands a yield.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from typing import Optional, TYPE_CHECKING
 from ..errors import SchedulingError, SimulationError
 from ..obs.profiler import NULL_PROFILER
 from ..obs.recorder import NULL_OBS
-from .events import EventHandle, maybe_cancel
+from .events import Event, maybe_cancel
 from .kernel import KernelMode
 from .memory import should_yield
 
@@ -52,6 +60,15 @@ class CTAState(enum.Enum):
 class CTAContext:
     """One resident CTA slot processing batches of tasks."""
 
+    __slots__ = (
+        "grid", "ctx_id", "sm", "state", "tasks_done", "started_at",
+        "ended_at", "_obs", "_prof", "task_mult", "_is_persistent",
+        "_task_time", "_per_task", "_poll_cost", "_amortize", "_spatial",
+        "_batch_label", "_yield_label", "_plan_cache", "_batch_start",
+        "_batch_size", "_completion", "_yield_event", "_started",
+        "_since_poll",
+    )
+
     def __init__(self, grid: "Grid", ctx_id: int, sm: "SM"):
         self.grid = grid
         self.ctx_id = ctx_id
@@ -67,14 +84,33 @@ class CTAContext:
         device = grid.device
         self._obs = device.obs if device is not None else NULL_OBS
         self._prof = device.prof if device is not None else NULL_PROFILER
+        # Per-batch constants, frozen once (kernel/cost model/multiplier
+        # are immutable for the context's lifetime).
+        kernel = grid.kernel
+        persistent = kernel.mode is KernelMode.PERSISTENT
+        self._is_persistent = persistent
         # per-context task-time multiplier (input irregularity)
-        self.task_mult = grid.kernel.task_model.sample_multiplier(grid.rng)
+        self.task_mult = kernel.task_model.sample_multiplier(grid.rng)
+        self._task_time = kernel.task_model.mean_task_us * self.task_mult
+        if persistent:
+            self._per_task = self._task_time + grid.costs.task_pull_us
+            self._poll_cost = grid.costs.pinned_poll_us
+            self._amortize = kernel.amortize_l
+        else:
+            self._per_task = self._task_time
+            self._poll_cost = 0.0
+            self._amortize = 1
+        self._spatial = kernel.supports_spatial
+        self._batch_label = f"{kernel.name}/ctx{ctx_id}/batch"
+        self._yield_label = f"{kernel.name}/ctx{ctx_id}/yield"
+        #: memoized batch plans: (batch, since_poll) -> duration_us
+        self._plan_cache = {}
 
         # current batch
         self._batch_start = 0.0
         self._batch_size = 0
-        self._completion: Optional[EventHandle] = None
-        self._yield_event: Optional[EventHandle] = None
+        self._completion: Optional[Event] = None
+        self._yield_event: Optional[Event] = None
         self._started = False
         #: tasks processed since the last flag poll, in [0, L). Polls
         #: happen exactly every L tasks *across* batch boundaries, so a
@@ -94,28 +130,6 @@ class CTAContext:
     # ------------------------------------------------------------------
     # timing helpers
     # ------------------------------------------------------------------
-    @property
-    def _is_persistent(self) -> bool:
-        return self.grid.kernel.mode is KernelMode.PERSISTENT
-
-    @property
-    def _task_time(self) -> float:
-        return self.grid.kernel.task_model.mean_task_us * self.task_mult
-
-    @property
-    def _per_task(self) -> float:
-        """Time for one task including the atomic pull."""
-        pull = self.grid.costs.task_pull_us if self._is_persistent else 0.0
-        return self._task_time + pull
-
-    @property
-    def _poll_cost(self) -> float:
-        return self.grid.costs.pinned_poll_us if self._is_persistent else 0.0
-
-    @property
-    def _amortize(self) -> int:
-        return self.grid.kernel.amortize_l if self._is_persistent else 1
-
     def _first_poll_index(self) -> int:
         """Task index within the current batch at which the first poll
         fires: 0 if the batch starts on a poll boundary, else the task
@@ -134,10 +148,17 @@ class CTAContext:
         return 1 + (batch - 1 - first) // self._amortize
 
     def _batch_duration(self, batch: int) -> float:
-        return (
-            self._polls_in_batch(batch) * self._poll_cost
-            + batch * self._per_task
-        )
+        """Wall time of a ``batch``-task run from the current poll
+        offset; memoized — contexts re-plan the same ``(batch,
+        since_poll)`` pair many times over a kernel's lifetime."""
+        key = (batch, self._since_poll)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = self._plan_cache[key] = (
+                self._polls_in_batch(batch) * self._poll_cost
+                + batch * self._per_task
+            )
+        return cached
 
     def _poll_read_start(self, m: int) -> float:
         """Time the m-th in-batch poll (m >= 0) begins reading the flag:
@@ -156,58 +177,99 @@ class CTAContext:
         """If on a poll boundary, poll the flag; then claim and run the
         next batch. Between boundaries the flag is never observed."""
         grid = self.grid
-        now = grid.sim.now
-        if (
-            self._is_persistent
-            and grid.flag is not None
-            and self._since_poll == 0
-        ):
-            value = grid.flag.device_read(now)
-            if should_yield(self.sm.sm_id, value, grid.kernel.supports_spatial):
-                # the boundary poll itself still costs one pinned read
-                self._schedule_yield(now + self._poll_cost, finished_in_batch=0)
-                return
+        sim = grid.sim
+        now = sim.clock._now
+        if self._is_persistent and self._since_poll == 0:
+            flag = grid.flag
+            # _demanding empty => every visible value is 0 => no yield;
+            # skip the read entirely (the poll itself is only *charged*
+            # when it demands a yield or as part of a batch plan)
+            if flag is not None and flag._demanding:
+                # newest write already visible => it is what a read
+                # observes; bisect only while the write is in flight
+                last = flag._history[-1]
+                value = last[1] if last[0] <= now else flag.device_read(now)
+                if should_yield(self.sm.sm_id, value, self._spatial):
+                    # the boundary poll itself still costs one pinned read
+                    self._schedule_yield(
+                        now + self._poll_cost, finished_in_batch=0
+                    )
+                    return
 
-        batch = grid.next_batch_size(self)
-        if batch == 0:
+        pool = grid.pool
+        remaining = pool._remaining
+        if remaining <= 0:
             self._finish(now)
             return
-        taken = grid.pool.take(batch)
-        if taken == 0:
-            self._finish(now)
-            return
+        # plan lookup inlined from Grid.next_batch_size (memo-hit path)
+        width = grid._parallel_width
+        workers = pool._workers
+        if workers > width:
+            width = workers
+        batch = grid._batch_plans.get((remaining, width))
+        if batch is None:
+            batch = grid.next_batch_size(self)
+        # claim inlined from TaskPool.take: the planner clamps batch to
+        # [1, remaining], so the claim never truncates or goes negative
+        pool._remaining = remaining - batch
+        pool._outstanding += batch
         self._batch_start = now
-        self._batch_size = taken
-        duration = self._batch_duration(taken)
-        self._completion = grid.sim.schedule(
-            duration,
+        self._batch_size = batch
+        # duration inlined from _batch_duration (identical float-op
+        # order, so replan's recomputation lands on the same bit pattern)
+        per_task = self._per_task
+        if self._is_persistent:
+            L = self._amortize
+            first = (L - self._since_poll) % L
+            polls = 0 if first >= batch else 1 + (batch - 1 - first) // L
+            duration = polls * self._poll_cost + batch * per_task
+        else:
+            duration = batch * per_task
+        self._completion = sim.schedule_event(
+            now + duration,
             self._on_batch_complete,
-            label=f"{grid.kernel.name}/ctx{self.ctx_id}/batch",
+            self._batch_label,
         )
-        if self._is_persistent and grid.flag is not None:
-            # a flag written before this batch started may bite mid-batch
-            self.replan()
+        if self._is_persistent:
+            flag = grid.flag
+            # a flag written before this batch started may bite
+            # mid-batch. No demanding write ever — or the newest write a
+            # visible clear — means replan would be a no-op (fresh
+            # completion, no yield event), so skip the call.
+            if flag is not None and flag._demanding:
+                last = flag._history[-1]
+                if last[1] != 0 or last[0] > now:
+                    self.replan()
 
     def _on_batch_complete(self) -> None:
         self._completion = None
         batch = self._batch_size
         self.tasks_done += batch
-        self.grid.pool.finish(batch)
+        grid = self.grid
+        # inlined from TaskPool.finish: this batch was claimed whole at
+        # _begin_next_batch, so batch <= outstanding by construction
+        pool = grid.pool
+        pool._outstanding -= batch
+        pool._done += batch
         if self._is_persistent:
+            since = self._since_poll
+            L = self._amortize
             obs = self._obs
             prof = self._prof
             if obs.enabled or prof.enabled:
-                # charged at batch granularity so the uninstrumented hot
-                # path stays O(batches), not O(tasks)
-                polls = self._polls_in_batch(batch)
+                # charged at batch granularity so the instrumented hot
+                # path stays O(batches), not O(tasks); polls inlined
+                # from _polls_in_batch
+                first = (L - since) % L
+                polls = 0 if first >= batch else 1 + (batch - 1 - first) // L
                 if obs.enabled:
                     obs.tasks_pulled(batch)
                     obs.flag_polled(polls)
                 if prof.enabled:
                     prof.on_batch(batch, polls)
-            self._since_poll = (self._since_poll + batch) % self._amortize
+            self._since_poll = (since + batch) % L
         self._batch_size = 0
-        self.grid.notify_progress()
+        grid.notify_progress()
         self._begin_next_batch()
 
     def _finish(self, now: float) -> None:
@@ -224,17 +286,30 @@ class CTAContext:
     def replan(self) -> None:
         """Recompute this context's fate after a flag write.
 
-        Scans the flag's (short) write history for the first poll
-        boundary of the current batch at which the device-visible value
-        demands a yield; schedules/cancels the yield event accordingly.
+        Scans the flag's (short) demanding-write index for the first
+        poll boundary of the current batch at which the device-visible
+        value demands a yield; schedules/cancels the yield event
+        accordingly.
         """
         if self.state is not CTAState.RUNNING or not self._is_persistent:
             return
         grid = self.grid
-        if grid.flag is None or self._batch_size == 0:
+        flag = grid.flag
+        if flag is None or self._batch_size == 0:
             return
 
-        yield_m = self._first_yield_poll()
+        if not flag._demanding:
+            yield_m = None
+        else:
+            # Cleared-flag fast path: when the newest write is a clear
+            # already visible at (or before) the batch start, every poll
+            # of this batch observes 0 — _first_yield_poll would scan
+            # the whole demanding index just to reject each candidate.
+            last = flag._history[-1]
+            if last[1] == 0 and last[0] <= self._batch_start:
+                yield_m = None
+            else:
+                yield_m = self._first_yield_poll()
         if yield_m is None:
             # no mid-batch yield; restore the completion event if a
             # previously-planned yield was cancelled by a flag clear
@@ -242,10 +317,11 @@ class CTAContext:
             self._yield_event = None
             if self._completion is None or self._completion.cancelled:
                 tc = self._batch_start + self._batch_duration(self._batch_size)
-                self._completion = grid.sim.schedule_at(
-                    max(tc, grid.sim.now),
+                now = grid.sim.clock._now
+                self._completion = grid.sim.schedule_event(
+                    tc if tc > now else now,
                     self._on_batch_complete,
-                    label=f"{grid.kernel.name}/ctx{self.ctx_id}/batch",
+                    self._batch_label,
                 )
             return
 
@@ -254,10 +330,11 @@ class CTAContext:
         maybe_cancel(self._completion)
         self._completion = None
         maybe_cancel(self._yield_event)
-        self._yield_event = grid.sim.schedule_at(
-            max(yield_at, grid.sim.now),
+        now = grid.sim.clock._now
+        self._yield_event = grid.sim.schedule_event(
+            yield_at if yield_at > now else now,
             lambda: self._do_yield(finished),
-            label=f"{grid.kernel.name}/ctx{self.ctx_id}/yield",
+            self._yield_label,
         )
 
     def _first_yield_poll(self) -> Optional[int]:
@@ -267,8 +344,8 @@ class CTAContext:
         The poll at the very start of the batch (task index 0, only when
         the batch begins on a boundary) already ran synchronously in
         ``_begin_next_batch``, so it is excluded. Walks the flag's
-        (short) piecewise-constant write history, solving for the first
-        poll ordinal in each demanding interval — O(history), not
+        (short) index of demanding writes, solving for the first poll
+        ordinal in each demanding interval — O(demanding writes), not
         O(batch/L).
         """
         grid = self.grid
@@ -280,35 +357,46 @@ class CTAContext:
         if m_lo >= n_polls:
             return None
         period = self._poll_cost + self._amortize * self._per_task
-        history = grid.flag._history  # (visible_at, value), sorted
-        spatial = grid.kernel.supports_spatial
+        flag = grid.flag
+        spatial = self._spatial
+        sm_id = self.sm.sm_id
+        base = self._poll_read_start(0)
         best: Optional[int] = None
-        for visible_at, value in history:
-            if not should_yield(self.sm.sm_id, value, spatial):
+        checked: set = set()
+        # only writes with value > 0 can demand a yield; zero writes
+        # matter solely through the observed-value re-check below. Old
+        # demanding writes all collapse onto the same candidate poll, so
+        # each candidate ordinal is evaluated once.
+        for visible_at, value in flag._demanding:
+            if not should_yield(sm_id, value, spatial):
                 continue
             # smallest m with poll_read_start(m) >= visible_at
-            base = self._poll_read_start(0)
             if visible_at <= base + _EPS:
                 m = 0
             else:
                 m = math.ceil((visible_at - base) / period - _EPS)
-            m = max(m, m_lo)
-            if m >= n_polls:
+            if m < m_lo:
+                m = m_lo
+            if m >= n_polls or (best is not None and m >= best):
                 continue
+            if m in checked:
+                continue
+            checked.add(m)
             # the value actually observed at that poll must still demand
             # a yield (a later write may have cleared it)
-            observed = grid.flag.device_read(self._poll_read_start(m) + _EPS)
-            if not should_yield(self.sm.sm_id, observed, spatial):
+            observed = flag.device_read(self._poll_read_start(m) + _EPS)
+            if not should_yield(sm_id, observed, spatial):
                 continue
-            if best is None or m < best:
-                best = m
+            best = m
         return best
 
     def _schedule_yield(self, at: float, finished_in_batch: int) -> None:
-        self._yield_event = self.grid.sim.schedule_at(
-            max(at, self.grid.sim.now),
+        sim = self.grid.sim
+        now = sim.clock._now
+        self._yield_event = sim.schedule_event(
+            at if at > now else now,
             lambda: self._do_yield(finished_in_batch),
-            label=f"{self.grid.kernel.name}/ctx{self.ctx_id}/yield",
+            self._yield_label,
         )
 
     def _do_yield(self, finished_in_batch: int) -> None:

@@ -19,7 +19,9 @@ class Event:
     deterministically: lower ``priority`` first, then insertion order.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "label", "cancelled", "_q"
+    )
 
     def __init__(
         self,
@@ -35,16 +37,30 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        #: owning engine while the event sits in its queue (duck-typed:
+        #: anything with a ``_dead`` counter); cleared when popped so a
+        #: late ``cancel()`` cannot skew the live-event count
+        self._q = None
 
     def cancel(self) -> None:
         """Mark the event dead; the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            q = self._q
+            if q is not None:
+                q._dead += 1
 
     def sort_key(self):
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # Direct field comparison: this runs O(log n) times per heap
+        # operation on the engine's hottest path, so no tuple allocation.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

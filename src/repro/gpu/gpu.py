@@ -155,17 +155,29 @@ class SimulatedGPU:
         This spreads persistent CTAs across all SMs — required for
         FLEP's launch-geometry guarantee — and naturally lands a
         preempting kernel on the SMs spatial preemption just freed.
+
+        The CTA footprint was resolved once at grid construction, so
+        every SM is screened with plain integer comparisons.
         """
+        threads, warps, regs, smem = grid._footprint
         best: Optional[SM] = None
+        best_free = 0
         for sm in self.sms:
-            if not sm.can_host(grid.kernel.resources):
+            free = sm._max_ctas - len(sm.resident)
+            if free <= best_free:
+                # cannot beat the current best (or has no free slot)
                 continue
-            if sm.free_cta_slots() >= grid.ctas_per_sm:
-                # fast path: completely (or sufficiently) free SM
-                if best is None or sm.free_cta_slots() > best.free_cta_slots():
-                    best = sm
-            elif best is None or sm.free_cta_slots() > best.free_cta_slots():
+            if (
+                sm.used_threads + threads <= sm._max_threads
+                and sm.used_warps + warps <= sm._max_warps
+                and sm.used_regs + regs <= sm._max_regs
+                and sm.used_smem + smem <= sm._max_smem
+            ):
                 best = sm
+                best_free = free
+                if free == sm._max_ctas:
+                    # an empty SM cannot be beaten (ties keep lowest id)
+                    break
         return best
 
     def _dispatch(self) -> None:
@@ -179,20 +191,21 @@ class SimulatedGPU:
                 progressed = False
                 self._dispatch_again = False
                 for grid in list(self._queue):
-                    if grid.is_terminal:
+                    if grid._terminal:
                         self._queue.remove(grid)
                         continue
+                    fp = grid._footprint
                     while grid.wants_dispatch():
                         sm = self._pick_sm(grid)
                         if sm is None:
                             break
                         ctx = grid.place_context(sm)
-                        sm.admit(ctx, grid.kernel.resources)
+                        sm.admit_fp(ctx, *fp)
                         if self.tracer is not None:
                             self.tracer.context_placed(ctx, grid)
                         ctx.start()
                         progressed = True
-                        if grid.is_terminal:
+                        if grid._terminal:
                             break
                     if grid.blocks_queue:
                         # head-of-line blocking: later grids must wait

@@ -16,6 +16,7 @@ the unfinished tasks run again.
 from __future__ import annotations
 
 import enum
+import math
 import random
 from typing import Callable, List, Optional, Set
 
@@ -27,11 +28,11 @@ from .kernel import (
     KernelMode,
     LaunchConfig,
     TaskPool,
-    guided_batch,
 )
 from .memory import PinnedFlag, should_yield
 from .occupancy import max_ctas_per_sm
 from .sim import Simulator
+from .sm import cta_footprint
 
 
 class GridState(enum.Enum):
@@ -91,8 +92,26 @@ class Grid:
         self.yielded_contexts = 0
         self.finished_contexts = 0
         self.ctas_per_sm = max_ctas_per_sm(spec, kernel.resources)
+        # (threads, warps, regs, smem) one CTA charges on an SM, resolved
+        # once: the dispatcher screens every SM against it on every
+        # placement, and retire returns it — no per-call footprint lookup.
+        warps, regs, smem = cta_footprint(kernel.resources, spec)
+        self._footprint = (kernel.resources.threads_per_cta, warps, regs, smem)
+        self._terminal = False
+        # Frozen hot-path constants: kernel mode, amortizing factor and
+        # the expected steady-state width never change after launch, and
+        # the batch-size planner consults them for every batch.
+        self._persistent = kernel.mode is KernelMode.PERSISTENT
+        self._amortize_l = kernel.amortize_l
+        capacity = spec.num_sms * self.ctas_per_sm
+        if self._persistent:
+            self._parallel_width = max(1, min(capacity, config.grid_ctas))
+        else:
+            self._parallel_width = max(1, min(capacity, self.pool.total))
+        #: memoized batch-size plans: (remaining, width) -> batch size
+        self._batch_plans = {}
 
-        if self.flag is not None and kernel.mode is KernelMode.PERSISTENT:
+        if self.flag is not None and self._persistent:
             self.flag.watch(self._on_flag_write)
 
     # ------------------------------------------------------------------
@@ -101,14 +120,17 @@ class Grid:
     @property
     def unplaced_contexts(self) -> int:
         """CTAs launched but not yet hosted on an SM."""
-        if self.is_terminal:
+        if self._terminal:
             return 0
-        if self.kernel.mode is KernelMode.PERSISTENT:
+        if self._persistent:
             remaining = self.config.grid_ctas - self._placed
             # don't place more workers than tasks left to claim
-            return max(0, min(remaining, self.pool.remaining))
+            tasks = self.pool._remaining
+            if remaining > tasks:
+                remaining = tasks
+            return remaining if remaining > 0 else 0
         # original: one CTA per task still waiting in the hardware queue
-        return self.pool.remaining
+        return self.pool._remaining
 
     @property
     def blocks_queue(self) -> bool:
@@ -117,11 +139,11 @@ class Grid:
         Later grids' CTAs cannot be dispatched while this is true (§2.1:
         a kernel occupies the GPU until all its CTAs are dispatched).
         """
-        return not self.is_terminal and self.unplaced_contexts > 0
+        return not self._terminal and self.unplaced_contexts > 0
 
     @property
     def is_terminal(self) -> bool:
-        return self.state in (GridState.PREEMPTED, GridState.COMPLETE)
+        return self._terminal
 
     def place_context(self, sm) -> CTAContext:
         """Dispatcher hosts one CTA of this grid on ``sm``."""
@@ -151,7 +173,7 @@ class Grid:
         if self.unplaced_contexts <= 0:
             return False
         if (
-            self.kernel.mode is KernelMode.PERSISTENT
+            self._persistent
             and self.flag is not None
             and should_yield(
                 0, self.flag.last_written, spatial_capable=False
@@ -175,10 +197,7 @@ class Grid:
         size guided-scheduling batches. Using the *expected* width (not
         the momentary context count) keeps early batches from starving
         later contexts."""
-        capacity = self.spec.num_sms * self.ctas_per_sm
-        if self.kernel.mode is KernelMode.PERSISTENT:
-            return max(1, min(capacity, self.config.grid_ctas))
-        return max(1, min(capacity, self.pool.total))
+        return self._parallel_width
 
     def next_batch_size(self, ctx: CTAContext) -> int:
         """Size of the next task batch for ``ctx`` (guided scheduling).
@@ -186,19 +205,42 @@ class Grid:
         The width is the larger of this grid's expected concurrency and
         the pool-wide live worker count: a shared pool may be drained by
         several grids at once (resume / top-up), and using only this
-        grid's width would let its contexts over-claim and straggle."""
-        width = max(self.parallel_width, self.pool.workers)
-        if self.kernel.mode is KernelMode.ORIGINAL:
-            return guided_batch(self.pool.remaining, width, minimum=1)
-        # Persistent: batches stay multiples of L so poll boundaries are
-        # exact, except near the tail where sub-L batches are allowed —
-        # real CTAs pull one task at a time, so work distribution is
-        # task-granular even though polls are L-spaced.
-        L = self.kernel.amortize_l
-        size = guided_batch(self.pool.remaining, width, minimum=1)
-        if size > L:
-            size = (size // L) * L
-        return min(size, self.pool.remaining)
+        grid's width would let its contexts over-claim and straggle.
+        Plans are memoized on ``(remaining, width)`` — contexts of one
+        wave repeatedly ask for the same plan."""
+        pool = self.pool
+        remaining = pool._remaining
+        width = self._parallel_width
+        workers = pool._workers
+        if workers > width:
+            width = workers
+        key = (remaining, width)
+        size = self._batch_plans.get(key)
+        if size is not None:
+            return size
+        # guided self-scheduling, inlined from kernel.guided_batch
+        # (same math.ceil expression, so sizes are identical)
+        if remaining <= 0:
+            size = 0
+        else:
+            size = math.ceil(remaining / (2 * width))
+            if size < 1:
+                size = 1
+            if size > remaining:
+                size = remaining
+            if self._persistent:
+                # Persistent: batches stay multiples of L so poll
+                # boundaries are exact, except near the tail where
+                # sub-L batches are allowed — real CTAs pull one task
+                # at a time, so work distribution is task-granular even
+                # though polls are L-spaced.
+                L = self._amortize_l
+                if size > L:
+                    size = (size // L) * L
+                if size > remaining:
+                    size = remaining
+        self._batch_plans[key] = size
+        return size
 
     def notify_progress(self) -> None:
         """Called by contexts when tasks complete (hook for the runtime)."""
@@ -213,7 +255,7 @@ class Grid:
 
     def _retire(self, ctx: CTAContext) -> None:
         self.contexts.discard(ctx)
-        ctx.sm.release(ctx, self.kernel.resources)
+        ctx.sm.release_fp(ctx, *self._footprint)
         self._check_terminal()
         # tell the device a slot freed up
         if self.device is not None:
@@ -227,7 +269,11 @@ class Grid:
             return
         if value > 0 and self.preempt_requested_at is None:
             self.preempt_requested_at = self.sim.now
-        for ctx in list(self.contexts):
+        # replan in ctx-id order: `contexts` is a set whose iteration
+        # order varies between processes (id-based hashing), and the
+        # order decides event seq numbers — sorting keeps replayed
+        # schedules bit-identical for the golden-trace tests
+        for ctx in sorted(self.contexts, key=lambda c: c.ctx_id):
             ctx.replan()
         # A grid preempted before any CTA was hosted (e.g. the flag was
         # written while the launch command was still in flight) drains
@@ -238,7 +284,7 @@ class Grid:
 
     def _demands_full_yield(self) -> bool:
         """Is the host currently requesting a whole-GPU yield?"""
-        if self.kernel.mode is not KernelMode.PERSISTENT or self.flag is None:
+        if not self._persistent or self.flag is None:
             return False
         value = self.flag.last_written
         if value <= 0:
@@ -260,7 +306,7 @@ class Grid:
             # pull_task() == NULL and exited: it is complete; the last
             # sibling observes pool.complete and finishes the invocation.
             self._finish(GridState.COMPLETE)
-        elif self.kernel.mode is KernelMode.PERSISTENT:
+        elif self._persistent:
             flag_pending = self.flag is not None and self.flag.last_written > 0
             if flag_pending or self.yielded_contexts > 0:
                 # Either the flag still demands a yield, or the workers
@@ -278,8 +324,9 @@ class Grid:
 
     def _finish(self, state: GridState) -> None:
         self.state = state
+        self._terminal = True
         self.ended_at = self.sim.now
-        if self.flag is not None and self.kernel.mode is KernelMode.PERSISTENT:
+        if self.flag is not None and self._persistent:
             self.flag.unwatch(self._on_flag_write)
         if self.device is not None:
             self.device.on_grid_terminal(self)

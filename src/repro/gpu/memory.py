@@ -14,10 +14,16 @@ Two pieces matter to FLEP:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Dict, List, Tuple
 
 from ..errors import MemoryError_, SimulationError
 from .sim import Simulator
+
+#: Sentinel larger than any flag value, for bisecting ``(time, value)``
+#: histories by time alone (ties resolve to the *latest* same-time write,
+#: matching the linear scan the bisect replaced).
+_VALUE_INF = float("inf")
 
 
 class DeviceMemory:
@@ -86,6 +92,11 @@ class PinnedFlag:
         self._latency = signal_latency_us
         # (visible_from_time, value), newest last; always non-empty
         self._history: List[Tuple[float, int]] = [(0.0, 0)]
+        #: index of writes with ``value > 0`` (same order as _history).
+        #: Empty means no visible value can ever demand a yield — the
+        #: CTA batch loop's fast path checks only this before skipping
+        #: the whole yield-poll search.
+        self._demanding: List[Tuple[float, int]] = []
         self._watchers: List[Callable[[float, int], None]] = []
 
     # -- host side -------------------------------------------------------
@@ -95,6 +106,8 @@ class PinnedFlag:
             raise SimulationError(f"flag value cannot be negative: {value}")
         visible_at = self._sim.now + self._latency
         self._history.append((visible_at, value))
+        if value > 0:
+            self._demanding.append((visible_at, value))
         for watcher in list(self._watchers):
             watcher(visible_at, value)
 
@@ -104,14 +117,14 @@ class PinnedFlag:
 
     # -- device side -----------------------------------------------------
     def device_read(self, at_time: float) -> int:
-        """Value a device-side poll at ``at_time`` observes."""
-        value = 0
-        for visible_at, v in self._history:
-            if visible_at <= at_time:
-                value = v
-            else:
-                break
-        return value
+        """Value a device-side poll at ``at_time`` observes.
+
+        O(log writes): the history is sorted by visibility time (host
+        writes are monotone in simulated time with a constant latency),
+        so the latest visible entry is found by bisection.
+        """
+        idx = bisect_right(self._history, (at_time, _VALUE_INF))
+        return self._history[idx - 1][1] if idx else 0
 
     @property
     def last_written(self) -> int:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..errors import OccupancyError
 from .device import GPUDeviceSpec
@@ -62,8 +63,26 @@ class OccupancyReport:
         )
 
 
+#: report cache keyed on (spec, usage) — both frozen dataclasses. Every
+#: Grid construction recomputes its occupancy; a workload launches many
+#: grids over a handful of distinct (spec, usage) pairs.
+_REPORTS: Dict[Tuple[GPUDeviceSpec, ResourceUsage], OccupancyReport] = {}
+
+
 def occupancy_report(spec: GPUDeviceSpec, usage: ResourceUsage) -> OccupancyReport:
     """Compute how many CTAs of ``usage`` one SM of ``spec`` can host."""
+    key = (spec, usage)
+    cached = _REPORTS.get(key)
+    if cached is not None:
+        return cached
+    report = _occupancy_report_uncached(spec, usage)
+    _REPORTS[key] = report
+    return report
+
+
+def _occupancy_report_uncached(
+    spec: GPUDeviceSpec, usage: ResourceUsage
+) -> OccupancyReport:
     if usage.threads_per_cta > spec.max_threads_per_cta:
         raise OccupancyError(
             f"CTA of {usage.threads_per_cta} threads exceeds device limit "

@@ -1,9 +1,18 @@
 """Discrete-event simulation engine.
 
-A thin, deterministic event loop over a binary heap. The engine is the
-single owner of simulated time; all GPU/host components schedule callbacks
-through it. Determinism matters because the experiment harness averages
-repeated runs that differ only by seeded RNG noise.
+A thin, deterministic event loop over a binary heap (or, optionally, a
+bucketed calendar queue — see :mod:`repro.gpu.calendar`). The engine is
+the single owner of simulated time; all GPU/host components schedule
+callbacks through it. Determinism matters because the experiment harness
+averages repeated runs that differ only by seeded RNG noise.
+
+The run loop is the hottest code in the repository, so it is written in
+a deliberately low-level style (see DESIGN.md §12 for the invariants it
+must preserve): one head inspection per iteration, instrumentation
+behind a single ``_hooked`` flag, and direct clock/counter stores
+instead of property and method calls. The semantically-equivalent
+reference loop (``use_reference_loop``) is kept for differential
+testing against the fast path.
 """
 
 from __future__ import annotations
@@ -16,6 +25,8 @@ from ..obs.profiler import NULL_PROFILER
 from ..obs.recorder import NULL_OBS
 from .clock import Clock
 from .events import Event, EventHandle
+
+_EVENT_NEW = Event.__new__
 
 
 class EventLoopStats:
@@ -47,29 +58,105 @@ class EventLoopStats:
 
 
 class Simulator:
-    """Deterministic discrete-event engine (time unit: microseconds)."""
+    """Deterministic discrete-event engine (time unit: microseconds).
 
-    def __init__(self, start_time: float = 0.0, max_events: int = 50_000_000):
+    ``queue`` selects the event-queue structure: ``"heap"`` (default,
+    one binary heap) or ``"calendar"`` (bucketed calendar queue, for
+    high-fanout scenarios with many far-future events). Both produce
+    bit-identical schedules; only wall-clock behaviour differs.
+    """
+
+    #: When True, ``run()`` uses the step-by-step reference loop instead
+    #: of the inlined fast path. The schedule-identity tests flip this to
+    #: prove the fast loop preserves schedules exactly.
+    use_reference_loop = False
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        max_events: int = 50_000_000,
+        queue: str = "heap",
+        bucket_us: Optional[float] = None,
+    ):
         self.clock = Clock(start_time)
-        self._heap: List[Event] = []
+        #: heap of ``(time, priority, seq, Event)`` entries. The seq is
+        #: unique per engine, so ties never reach the Event field and
+        #: every comparison is a C-level tuple compare — no Python
+        #: ``__lt__`` frames on the hot path.
+        self._heap: List[tuple] = []
+        if queue == "heap":
+            if bucket_us is not None:
+                raise SimulationError("bucket_us only applies to queue='calendar'")
+            self._cal = None
+        elif queue == "calendar":
+            from .calendar import CalendarQueue
+
+            self._cal = (
+                CalendarQueue() if bucket_us is None else CalendarQueue(bucket_us)
+            )
+        else:
+            raise SimulationError(
+                f"unknown queue kind {queue!r} (have 'heap', 'calendar')"
+            )
         self._seq = 0
+        #: cancelled-but-not-yet-popped events still in the queue; makes
+        #: ``pending()`` O(1) (maintained by Event.cancel via ``_q``)
+        self._dead = 0
         self.stats = EventLoopStats()
         self._max_events = max_events
         self._running = False
         self._trace: Optional[Callable[[Event], None]] = None
         #: observability recorder (repro.obs); the shared null recorder
-        #: keeps the per-event cost to one attribute check when disabled
-        self.obs = NULL_OBS
+        #: keeps the per-event cost to one flag check when disabled
+        self._obs = NULL_OBS
         #: hot-path self-profiler (repro.obs.profiler); same null/guard
-        #: pattern as ``obs`` — one attribute check when uninstalled
-        self.prof = NULL_PROFILER
+        #: pattern as ``obs``
+        self._prof = NULL_PROFILER
+        #: single is-anything-installed flag the run loop branches on;
+        #: refreshed whenever trace/obs/prof are (un)installed
+        self._hooked = _GLOBAL_TRACE is not None
+        if _GLOBAL_TRACE is not None:
+            self._trace = _GLOBAL_TRACE
+
+    # ------------------------------------------------------------------
+    # instrumentation wiring (rare: assignment refreshes the hot flag)
+    # ------------------------------------------------------------------
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, hub) -> None:
+        self._obs = hub
+        self._refresh_hooked()
+
+    @property
+    def prof(self):
+        return self._prof
+
+    @prof.setter
+    def prof(self, prof) -> None:
+        self._prof = prof
+        self._refresh_hooked()
+
+    def set_trace(self, fn: Optional[Callable[[Event], None]]) -> None:
+        """Install a hook called with each event just before it fires."""
+        self._trace = fn
+        self._refresh_hooked()
+
+    def _refresh_hooked(self) -> None:
+        self._hooked = (
+            self._trace is not None
+            or self._obs.enabled
+            or self._prof.enabled
+        )
 
     # ------------------------------------------------------------------
     # scheduling API
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self.clock.now
+        return self.clock._now
 
     @property
     def processed_events(self) -> int:
@@ -97,7 +184,9 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, label, priority)
+        return self.schedule_at(
+            self.clock._now + delay, callback, label, priority
+        )
 
     def schedule_at(
         self,
@@ -107,60 +196,89 @@ class Simulator:
         priority: int = 0,
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self.now:
+        return EventHandle(self.schedule_event(time, callback, label, priority))
+
+    def schedule_event(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Fast-path variant of :meth:`schedule_at` returning the raw
+        :class:`Event` (no handle wrapper). Same validation, ordering and
+        accounting; internal hot callers (the CTA batch loop) use this to
+        skip one allocation per scheduled event."""
+        if time < self.clock._now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self.now}"
             )
-        self._seq += 1
-        ev = Event(time, self._seq, callback, label=label, priority=priority)
-        heapq.heappush(self._heap, ev)
+        seq = self._seq = self._seq + 1
+        # build the Event with direct slot stores — this allocator runs
+        # once per scheduled event, and the __init__ frame is pure cost
+        ev = _EVENT_NEW(Event)
+        ev.time = time
+        ev.priority = priority
+        ev.seq = seq
+        ev.callback = callback
+        ev.label = label
+        ev.cancelled = False
+        ev._q = self
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, (time, priority, seq, ev))
+            depth = len(self._heap)
+        else:
+            cal.push(time, priority, seq, ev)
+            depth = len(cal)
         st = self.stats
         st.scheduled += 1
-        depth = len(self._heap)
         if depth > st.peak_pending:
             st.peak_pending = depth
-        return EventHandle(ev)
+        return ev
 
     def call_soon(
         self, callback: Callable[[], Any], label: str = "", priority: int = 0
     ) -> EventHandle:
         """Schedule ``callback`` at the current time (after pending same-time
         events of lower sequence)."""
-        return self.schedule_at(self.now, callback, label, priority)
-
-    def set_trace(self, fn: Optional[Callable[[Event], None]]) -> None:
-        """Install a hook called with each event just before it fires."""
-        self._trace = fn
+        return self.schedule_at(self.clock._now, callback, label, priority)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events. O(1): queue
+        length minus the incrementally-maintained dead-event count."""
+        cal = self._cal
+        depth = len(self._heap) if cal is None else len(cal)
+        return depth - self._dead
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is idle."""
         self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        ev = self._peek_ev()
+        return ev.time if ev is not None else None
 
     def step(self) -> bool:
-        """Execute the next live event. Returns ``False`` when idle."""
+        """Execute the next live event. Returns ``False`` when idle.
+
+        This is the engine's *reference* path — semantically identical
+        to one iteration of the fast ``run()`` loop, kept for external
+        single-stepping and differential tests.
+        """
         self._drop_cancelled_head()
-        if not self._heap:
+        ev = self._pop_ev()
+        if ev is None:
             return False
-        ev = heapq.heappop(self._heap)
+        ev._q = None
         self.clock.advance_to(ev.time)
         st = self.stats
         st.processed += 1
         if st.processed > self._max_events:
             raise SimulationError(self._exhaustion_diagnostics(ev))
-        if self._trace is not None:
-            self._trace(ev)
-        if self.obs.enabled:
-            self.obs.sim_event(ev.label)
-        if self.prof.enabled:
-            self.prof.on_event(ev.label, len(self._heap))
+        if self._hooked:
+            self._fire_hooks(ev)
         ev.callback()
         return True
 
@@ -173,6 +291,67 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        if self._cal is not None or self.use_reference_loop:
+            return self._run_reference(until)
+        self._running = True
+        # Fast path: locals for everything touched per iteration, one
+        # head inspection per event, direct clock/counter stores. The
+        # heap order guarantees popped times are non-decreasing and
+        # schedule_at rejects the past, so the clock store needs no
+        # monotonicity re-check (DESIGN.md §12).
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
+        st = self.stats
+        max_events = self._max_events
+        limit = float("inf") if until is None else until
+        # processed count kept in a local; everything that reads it
+        # (profiler engine block, harness, diagnostics) runs after the
+        # loop exits, and the finally below syncs it even on raise
+        processed = st.processed
+        try:
+            while heap:
+                head = heap[0]
+                ev = head[3]
+                if ev.cancelled:
+                    pop(heap)
+                    ev._q = None
+                    self._dead -= 1
+                    st.cancelled += 1
+                    continue
+                t = head[0]
+                if t > limit:
+                    clock.advance_to(until)
+                    break
+                pop(heap)
+                ev._q = None
+                clock._now = t
+                processed += 1
+                if processed > max_events:
+                    st.processed = processed
+                    raise SimulationError(self._exhaustion_diagnostics(ev))
+                if self._hooked:
+                    # _fire_hooks inlined: hooks may be (re)installed by a
+                    # callback mid-run, so each is re-read per event
+                    trace = self._trace
+                    if trace is not None:
+                        trace(ev)
+                    obs = self._obs
+                    if obs.enabled:
+                        obs.sim_event(ev.label)
+                    prof = self._prof
+                    if prof.enabled:
+                        prof.on_event(ev.label, len(heap))
+                ev.callback()
+        finally:
+            st.processed = processed
+            self._running = False
+        return clock._now
+
+    def _run_reference(self, until: Optional[float]) -> float:
+        """Step-by-step loop: one peek + one step per event. Used for the
+        calendar queue and as the differential reference for the fast
+        heap loop (``use_reference_loop``)."""
         self._running = True
         try:
             while True:
@@ -185,17 +364,56 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
-        return self.now
+        return self.clock._now
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _fire_hooks(self, ev: Event) -> None:
+        """Slow path: deliver ``ev`` to whichever hooks are installed."""
+        if self._trace is not None:
+            self._trace(ev)
+        if self._obs.enabled:
+            self._obs.sim_event(ev.label)
+        if self._prof.enabled:
+            depth = len(self._heap) if self._cal is None else len(self._cal)
+            self._prof.on_event(ev.label, depth)
+
+    def _peek_ev(self) -> Optional[Event]:
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            return heap[0][3] if heap else None
+        return cal.peek()
+
+    def _pop_ev(self) -> Optional[Event]:
+        cal = self._cal
+        if cal is None:
+            heap = self._heap
+            return heapq.heappop(heap)[3] if heap else None
+        return cal.pop() if len(cal) else None
+
+    def _live_events_sorted(self, n: int) -> List[Event]:
+        """The ``n`` soonest live events (diagnostics only; O(pending))."""
+        if self._cal is None:
+            live = (en for en in self._heap if not en[3].cancelled)
+        else:
+            live = (
+                en
+                for bucket in (*self._cal._buckets.values(), self._cal._overflow)
+                for en in bucket
+                if not en[3].cancelled
+            )
+        return [en[3] for en in heapq.nsmallest(n, live)]
+
     def _exhaustion_diagnostics(self, current: Event) -> str:
         """Diagnostic message for a blown event budget: what was running,
         how much is still queued, and which events come next."""
-        live = [e for e in heapq.nsmallest(6, self._heap) if not e.cancelled]
+        # filter cancelled *before* truncating so the preview really is
+        # the next 5 live events, not fewer
+        live = self._live_events_sorted(5)
         heads = ", ".join(
-            f"{e.label or '<unlabelled>'}@{e.time:.3f}us" for e in live[:5]
+            f"{e.label or '<unlabelled>'}@{e.time:.3f}us" for e in live
         ) or "<none>"
         return (
             f"event budget exceeded ({self._max_events} events) at "
@@ -207,12 +425,41 @@ class Simulator:
         )
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.stats.cancelled += 1
+        st = self.stats
+        if self._cal is None:
+            heap = self._heap
+            while heap and heap[0][3].cancelled:
+                heapq.heappop(heap)[3]._q = None
+                self._dead -= 1
+                st.cancelled += 1
+        else:
+            cal = self._cal
+            while True:
+                ev = cal.peek()
+                if ev is None or not ev.cancelled:
+                    break
+                cal.pop()._q = None
+                self._dead -= 1
+                st.cancelled += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Simulator(now={self.now:.3f}us, pending={len(self._heap)}, "
+            f"Simulator(now={self.now:.3f}us, pending={self.pending()}, "
             f"processed={self.stats.processed})"
         )
+
+
+# ---------------------------------------------------------------------------
+# process-global trace hook (mirrors the global obs hub / profiler: lets
+# harnesses capture every simulator a scenario builds internally)
+# ---------------------------------------------------------------------------
+_GLOBAL_TRACE: Optional[Callable[[Event], None]] = None
+
+
+def install_global_trace(fn: Optional[Callable[[Event], None]]) -> None:
+    """Make ``fn`` the initial trace hook of every *new* Simulator
+    (``None`` uninstalls). Existing simulators are unaffected; the
+    schedule-identity tests use this to record event streams from
+    simulators that scenarios construct internally."""
+    global _GLOBAL_TRACE
+    _GLOBAL_TRACE = fn

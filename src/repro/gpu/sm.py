@@ -5,11 +5,19 @@ rounded register/shared-memory/thread footprints computed by
 :mod:`repro.gpu.occupancy`. The hardware dispatcher asks SMs whether they
 can host a CTA; spatial preemption uses the SM *id* (the paper reads it
 from the ``%smid`` register) to decide which CTAs must yield.
+
+Footprints are pure functions of ``(usage, spec)`` — both frozen
+dataclasses — so they are computed once per pair and cached
+process-wide (:func:`cta_footprint`): the dispatcher admits and
+releases thousands of identical CTAs per run, and re-doing the ceil/div
+math each time dominated the admission path. The per-SM counters are
+kept as plain slot attributes (no properties) so the dispatcher's
+``can_host`` scan is five integer comparisons.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Set, Tuple
 
 from ..errors import ResourceError
 from ..obs.profiler import NULL_PROFILER
@@ -18,9 +26,41 @@ from .device import GPUDeviceSpec
 from .kernel import ResourceUsage
 from .occupancy import ceil_to
 
+#: (warps, regs, smem) per CTA, cached per (usage, spec) — both are
+#: frozen/hashable, and a workload uses a handful of distinct pairs.
+_FOOTPRINTS: Dict[Tuple[ResourceUsage, GPUDeviceSpec], Tuple[int, int, int]] = {}
+
+
+def cta_footprint(
+    usage: ResourceUsage, spec: GPUDeviceSpec
+) -> Tuple[int, int, int]:
+    """Rounded ``(warps, regs, smem)`` one CTA of ``usage`` charges on an
+    SM of ``spec``. Memoized: admit *and* release of every CTA ask for
+    the same few footprints."""
+    key = (usage, spec)
+    fp = _FOOTPRINTS.get(key)
+    if fp is None:
+        warps = -(-usage.threads_per_cta // spec.warp_size)
+        regs = (
+            ceil_to(
+                usage.regs_per_thread * spec.warp_size,
+                spec.register_alloc_unit,
+            )
+            * warps
+        )
+        smem = ceil_to(usage.shared_mem_per_cta, spec.shared_mem_alloc_unit)
+        fp = _FOOTPRINTS[key] = (warps, regs, smem)
+    return fp
+
 
 class SM:
     """One streaming multiprocessor's occupancy state."""
+
+    __slots__ = (
+        "sm_id", "spec", "resident", "used_threads", "used_warps",
+        "used_regs", "used_smem", "obs", "prof",
+        "_max_ctas", "_max_threads", "_max_warps", "_max_regs", "_max_smem",
+    )
 
     def __init__(self, sm_id: int, spec: GPUDeviceSpec):
         self.sm_id = sm_id
@@ -30,6 +70,13 @@ class SM:
         self.used_warps = 0
         self.used_regs = 0
         self.used_smem = 0
+        # device limits flattened to slots: the can_host scan runs per
+        # (grid, SM) pair on every dispatch round
+        self._max_ctas = spec.max_ctas_per_sm
+        self._max_threads = spec.max_threads_per_sm
+        self._max_warps = spec.max_warps_per_sm
+        self._max_regs = spec.registers_per_sm
+        self._max_smem = spec.shared_mem_per_sm
         #: observability recorder; set by the owning device
         self.obs = NULL_OBS
         #: hot-path self-profiler; set by the owning device
@@ -37,56 +84,72 @@ class SM:
 
     # -- footprint math --------------------------------------------------
     def _footprint(self, usage: ResourceUsage):
-        warps = -(-usage.threads_per_cta // self.spec.warp_size)
-        regs = (
-            ceil_to(
-                usage.regs_per_thread * self.spec.warp_size,
-                self.spec.register_alloc_unit,
-            )
-            * warps
-        )
-        smem = ceil_to(usage.shared_mem_per_cta, self.spec.shared_mem_alloc_unit)
-        return warps, regs, smem
+        return cta_footprint(usage, self.spec)
 
     def can_host(self, usage: ResourceUsage) -> bool:
         """Would one more CTA of this footprint fit right now?"""
-        warps, regs, smem = self._footprint(usage)
+        warps, regs, smem = cta_footprint(usage, self.spec)
         return (
-            len(self.resident) < self.spec.max_ctas_per_sm
-            and self.used_threads + usage.threads_per_cta
-            <= self.spec.max_threads_per_sm
-            and self.used_warps + warps <= self.spec.max_warps_per_sm
-            and self.used_regs + regs <= self.spec.registers_per_sm
-            and self.used_smem + smem <= self.spec.shared_mem_per_sm
+            len(self.resident) < self._max_ctas
+            and self.used_threads + usage.threads_per_cta <= self._max_threads
+            and self.used_warps + warps <= self._max_warps
+            and self.used_regs + regs <= self._max_regs
+            and self.used_smem + smem <= self._max_smem
+        )
+
+    def can_host_fp(self, threads: int, warps: int, regs: int, smem: int) -> bool:
+        """``can_host`` with a precomputed footprint — the dispatcher
+        resolves the footprint once per grid, then scans every SM."""
+        return (
+            len(self.resident) < self._max_ctas
+            and self.used_threads + threads <= self._max_threads
+            and self.used_warps + warps <= self._max_warps
+            and self.used_regs + regs <= self._max_regs
+            and self.used_smem + smem <= self._max_smem
         )
 
     def admit(self, context, usage: ResourceUsage) -> None:
         """Place a CTA context on this SM, charging its resources."""
-        if context in self.resident:
-            raise ResourceError(f"context already resident on SM {self.sm_id}")
         if not self.can_host(usage):
             raise ResourceError(
                 f"SM {self.sm_id} cannot host CTA {usage} "
                 f"(resident={len(self.resident)})"
             )
-        warps, regs, smem = self._footprint(usage)
-        self.resident.add(context)
-        self.used_threads += usage.threads_per_cta
+        warps, regs, smem = cta_footprint(usage, self.spec)
+        self.admit_fp(context, usage.threads_per_cta, warps, regs, smem)
+
+    def admit_fp(
+        self, context, threads: int, warps: int, regs: int, smem: int
+    ) -> None:
+        """``admit`` with a precomputed footprint; the caller (the
+        dispatcher) has already verified ``can_host_fp``."""
+        resident = self.resident
+        if context in resident:
+            raise ResourceError(f"context already resident on SM {self.sm_id}")
+        resident.add(context)
+        self.used_threads += threads
         self.used_warps += warps
         self.used_regs += regs
         self.used_smem += smem
         if self.obs.enabled:
-            self.obs.sm_admitted(self.sm_id, len(self.resident))
+            self.obs.sm_admitted(self.sm_id, len(resident))
         if self.prof.enabled:
-            self.prof.on_sm_admit(self.sm_id, len(self.resident))
+            self.prof.on_sm_admit(self.sm_id, len(resident))
 
     def release(self, context, usage: ResourceUsage) -> None:
         """Remove a CTA context, returning its resources."""
-        if context not in self.resident:
+        warps, regs, smem = cta_footprint(usage, self.spec)
+        self.release_fp(context, usage.threads_per_cta, warps, regs, smem)
+
+    def release_fp(
+        self, context, threads: int, warps: int, regs: int, smem: int
+    ) -> None:
+        """``release`` with a precomputed footprint."""
+        resident = self.resident
+        if context not in resident:
             raise ResourceError(f"context not resident on SM {self.sm_id}")
-        warps, regs, smem = self._footprint(usage)
-        self.resident.remove(context)
-        self.used_threads -= usage.threads_per_cta
+        resident.remove(context)
+        self.used_threads -= threads
         self.used_warps -= warps
         self.used_regs -= regs
         self.used_smem -= smem
@@ -95,16 +158,16 @@ class SM:
                 f"SM {self.sm_id} resource accounting went negative"
             )
         if self.obs.enabled:
-            self.obs.sm_released(self.sm_id, len(self.resident))
+            self.obs.sm_released(self.sm_id, len(resident))
         if self.prof.enabled:
-            self.prof.on_sm_release(self.sm_id, len(self.resident))
+            self.prof.on_sm_release(self.sm_id, len(resident))
 
     @property
     def idle(self) -> bool:
         return not self.resident
 
     def free_cta_slots(self) -> int:
-        return self.spec.max_ctas_per_sm - len(self.resident)
+        return self._max_ctas - len(self.resident)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

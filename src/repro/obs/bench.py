@@ -316,11 +316,21 @@ def run_bench(
     only: Optional[Sequence[str]] = None,
     scenarios: Optional[Dict[str, BenchScenario]] = None,
     on_progress: Optional[Callable[[str, Dict[str, object]], None]] = None,
+    warmup: bool = True,
 ) -> BenchReport:
     """Execute the suite under a fresh profiler per scenario.
 
     ``only`` selects a subset by name; ``scenarios`` swaps the whole
     table (the tests inject tiny synthetic workloads this way).
+
+    ``warmup`` (default on) executes each scenario once, unmeasured, at
+    the CI-smoke scale before the profiled run: scenario functions
+    import their subsystems lazily, and in a cold process that one-time
+    import/bytecode cost lands inside the first timed window, deflating
+    ``events_per_sec`` by a large factor on the smaller scenarios. The
+    metric is meant to track the *engine*, so imports and the
+    process-wide memo caches are warmed outside the timed window.
+    Schedules are unaffected (runs are bit-deterministic at a budget).
     """
     if budget not in BUDGETS:
         raise ObservabilityError(
@@ -340,7 +350,10 @@ def run_bench(
         git_sha=git_sha(),
         python=platform.python_version(),
     )
+    warm_scale = min(scale, BUDGETS["small"])
     for name in names:
+        if warmup:
+            table[name].run(warm_scale)
         prof = SimProfiler()
         with profiled(prof):
             extras = table[name].run(scale) or {}
@@ -384,6 +397,13 @@ class CompareResult:
     def regressions(self) -> List[Dict[str, object]]:
         """Rows whose gated metric dropped by more than the threshold."""
         return [r for r in self.rows if r["status"] == "regression"]
+
+    @property
+    def drifts(self) -> List[Dict[str, object]]:
+        """Rows whose deterministic event count changed: the *workload*
+        differs from the baseline's, which no amount of runner noise can
+        explain — schedules are bit-reproducible at a given budget."""
+        return [r for r in self.rows if r["status"] == "drift"]
 
     @property
     def ok(self) -> bool:

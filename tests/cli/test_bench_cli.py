@@ -106,6 +106,34 @@ class TestBenchCommand:
     def test_against_requires_compare(self, tmp_path):
         assert main(["bench", "--against", str(tmp_path / "x.json")]) == 2
 
+    def test_fail_on_drift_overrides_warn_only(
+        self, tiny_scenarios, tmp_path, capsys
+    ):
+        old = tmp_path / "old.json"
+        drifted = tmp_path / "drifted.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        data = json.loads(old.read_text())
+        data["scenarios"][0]["events"] += 1
+        drifted.write_text(json.dumps(data))
+        # warn-only alone lets the drift through...
+        assert main(["bench", "--compare", str(old),
+                     "--against", str(drifted), "--warn-only"]) == 0
+        # ...but --fail-on-drift hard-fails it, warn-only or not
+        assert main(["bench", "--compare", str(old),
+                     "--against", str(drifted), "--warn-only",
+                     "--fail-on-drift"]) == 3
+        assert "drift" in capsys.readouterr().err
+
+    def test_fail_on_drift_passes_on_identical_counts(
+        self, tiny_scenarios, tmp_path
+    ):
+        old = tmp_path / "old.json"
+        slow = tmp_path / "slow.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        _write_slowed(old, slow, 0.8)  # rate drop, same event counts
+        assert main(["bench", "--compare", str(old), "--against",
+                     str(slow), "--warn-only", "--fail-on-drift"]) == 0
+
     def test_scenario_filter(self, tiny_scenarios, tmp_path, capsys):
         out = tmp_path / "b.json"
         assert main(["bench", "--budget", "small", "-o", str(out),

@@ -1,0 +1,155 @@
+"""Calendar-queue engine: bucket mechanics and heap-engine identity.
+
+``Simulator(queue="calendar")`` must order events exactly like the
+default flat heap — same ``(time, priority, seq)`` order, same stats —
+only the wall-clock profile may differ.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.calendar import DEFAULT_BUCKET_US, CalendarQueue
+from repro.gpu.events import Event
+from repro.gpu.sim import Simulator
+
+
+def _entry(time, priority, seq):
+    return (time, priority, seq, Event(time, seq, lambda: None))
+
+
+class TestCalendarQueue:
+    def test_rejects_bad_bucket_width(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(SimulationError):
+                CalendarQueue(bad)
+
+    def test_pop_order_matches_sorted_entries(self):
+        rng = random.Random(7)
+        cal = CalendarQueue(10.0)
+        entries = []
+        for seq in range(500):
+            t = rng.uniform(0.0, 1000.0)
+            prio = rng.randrange(3)
+            e = _entry(t, prio, seq)
+            entries.append(e)
+            cal.push(*e)
+        expect = [e[3] for e in sorted(entries, key=lambda e: e[:3])]
+        got = [cal.pop() for _ in range(len(entries))]
+        assert got == expect
+        assert len(cal) == 0
+
+    def test_same_time_entries_share_a_bucket(self):
+        cal = CalendarQueue(5.0)
+        a, b = _entry(12.0, 0, 1), _entry(12.0, 0, 2)
+        cal.push(*a)
+        cal.push(*b)
+        assert len(cal._buckets) == 1
+        assert cal.pop() is a[3]
+        assert cal.pop() is b[3]
+
+    def test_nonfinite_times_wait_in_overflow(self):
+        cal = CalendarQueue()
+        far = _entry(float("inf"), 0, 1)
+        near = _entry(3.0, 0, 2)
+        cal.push(*far)
+        cal.push(*near)
+        assert len(cal._overflow) == 1
+        assert cal.pop() is near[3]
+        assert cal.peek() is far[3]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue().pop()
+
+    def test_drained_bucket_is_deleted(self):
+        cal = CalendarQueue(1.0)
+        e = _entry(42.5, 0, 1)
+        cal.push(*e)
+        cal.pop()
+        assert cal._buckets == {}
+        # the stale key is absorbed lazily by the next push/peek
+        cal.push(*_entry(42.7, 0, 2))
+        assert cal.peek() is not None
+
+
+def _drive(queue: str, seed: int):
+    """A deterministic-but-messy workload: random fan-out, priorities
+    and mid-run cancellations. Returns (trace, stats, final_time)."""
+    sim = Simulator(queue=queue)
+    rng = random.Random(seed)
+    trace = []
+    sim.set_trace(lambda ev: trace.append((ev.time, ev.label, ev.priority)))
+    handles = []
+
+    def child(depth):
+        def cb():
+            if depth < 2:
+                h = sim.schedule(
+                    rng.uniform(0.0, 200.0),
+                    child(depth + 1),
+                    label=f"child{depth}",
+                    priority=rng.randrange(3),
+                )
+                handles.append(h)
+            if handles and rng.random() < 0.3:
+                handles[rng.randrange(len(handles))].cancel()
+        return cb
+
+    for i in range(200):
+        h = sim.schedule(
+            rng.uniform(0.0, 500.0),
+            child(0),
+            label=f"root{i}",
+            priority=rng.randrange(3),
+        )
+        handles.append(h)
+    end = sim.run()
+    return trace, sim.stats.as_dict(), end
+
+
+class TestCalendarEngineIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_calendar_engine_matches_heap_engine(self, seed):
+        heap_trace, heap_stats, heap_end = _drive("heap", seed)
+        cal_trace, cal_stats, cal_end = _drive("calendar", seed)
+        assert heap_trace, "workload fired no events"
+        assert cal_trace == heap_trace
+        assert cal_stats == heap_stats
+        assert cal_end == heap_end
+
+    def test_custom_bucket_width_preserves_order(self):
+        base_trace, _, _ = _drive("heap", 11)
+        sim = Simulator(queue="calendar", bucket_us=3.5)
+        assert sim._cal._width == 3.5
+        narrow_trace, _, _ = _drive("calendar", 11)
+        assert narrow_trace == base_trace
+
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator(queue="calendar")
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.schedule(500.0, lambda: fired.append(sim.now))
+        assert sim.run(until=100.0) == 100.0
+        assert fired == [10.0]
+        assert sim.pending() == 1
+
+    def test_pending_accounts_for_cancellations(self):
+        sim = Simulator(queue="calendar")
+        keep = sim.schedule(5.0, lambda: None)
+        drop = sim.schedule(6.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.stats.processed == 1
+        assert sim.stats.cancelled == 1
+
+    def test_bucket_us_rejected_for_heap_queue(self):
+        with pytest.raises(SimulationError):
+            Simulator(queue="heap", bucket_us=8.0)
+
+    def test_unknown_queue_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(queue="fibonacci")

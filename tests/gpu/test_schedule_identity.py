@@ -1,0 +1,81 @@
+"""Golden-trace schedule identity across the engine's loop variants.
+
+The optimized ``run()`` loop is only allowed to be *faster* than the
+step-by-step reference loop — never different. These tests replay every
+bench scenario under a global trace hook and assert that the fast loop
+produces the exact ``(time, label, priority)`` event stream and the
+exact :class:`~repro.gpu.sim.EventLoopStats` the reference loop does,
+so a future optimisation cannot silently change schedules.
+"""
+
+import pytest
+
+from repro.gpu.sim import Simulator, install_global_trace
+from repro.obs.bench import BUDGETS, SCENARIOS
+
+#: CI-smoke scale; big enough that every scenario exercises dispatch,
+#: preemption, cancellations and the batch loop.
+SCALE = BUDGETS["small"]
+
+
+def _run_traced(name: str, use_reference: bool):
+    """Run one bench scenario, returning its fired-event stream and the
+    per-simulator loop stats.
+
+    Scenarios construct their simulators internally, so the stream is
+    captured with the process-global trace hook and the instances are
+    collected by temporarily wrapping ``Simulator.__init__``.
+    """
+    events = []
+    sims = []
+    original_init = Simulator.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        sims.append(self)
+
+    install_global_trace(
+        lambda ev: events.append((ev.time, ev.label, ev.priority))
+    )
+    Simulator.__init__ = tracking_init
+    Simulator.use_reference_loop = use_reference
+    try:
+        SCENARIOS[name].run(SCALE)
+    finally:
+        Simulator.__init__ = original_init
+        Simulator.use_reference_loop = False
+        install_global_trace(None)
+    return events, [s.stats.as_dict() for s in sims]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fast_loop_replays_reference_schedule(name):
+    fast_events, fast_stats = _run_traced(name, use_reference=False)
+    ref_events, ref_stats = _run_traced(name, use_reference=True)
+    assert fast_events, f"scenario {name} fired no events"
+    assert fast_events == ref_events
+    assert fast_stats == ref_stats
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_are_deterministic_across_runs(name):
+    """A scenario replayed twice on the same loop is bit-identical —
+    the property the drift gate in ``flep bench --compare`` relies on."""
+    first, _ = _run_traced(name, use_reference=False)
+    second, _ = _run_traced(name, use_reference=False)
+    assert first == second
+
+
+def test_global_trace_uninstalls_cleanly():
+    seen = []
+    install_global_trace(seen.append)
+    try:
+        sim = Simulator()
+        assert sim._hooked
+    finally:
+        install_global_trace(None)
+    sim2 = Simulator()
+    sim2.schedule(1.0, lambda: None)
+    sim2.run()
+    # only the first simulator inherited the hook
+    assert not sim2._hooked

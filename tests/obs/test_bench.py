@@ -181,6 +181,12 @@ class TestCompare:
         assert cmp.ok
         drift = [r for r in cmp.rows if r["status"] == "drift"]
         assert len(drift) == 1 and drift[0]["scenario"] == "s1"
+        # the drifts property is what the CLI's --fail-on-drift gates on
+        assert cmp.drifts == drift
+
+    def test_no_drift_on_identical_counts(self):
+        old = _report()
+        assert compare_reports(old, _scaled(old, 1.2)).drifts == []
 
     def test_scenario_missing_in_new_is_reported(self):
         old = _report()

@@ -225,6 +225,89 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _build_fleet_tenants(n: int, slo_us: float):
+    """The CLI's standard tenant mix: one third interactive (tight SLO,
+    high priority), one third analytics (loose SLO), one third
+    best-effort batch — deterministic for a given ``n``."""
+    from .serving import Tenant, TenantSet
+
+    tenants = []
+    for i in range(n):
+        tier = i % 3
+        if tier == 0:
+            tenants.append(Tenant(
+                f"web{i}", priority=2, slo_us=slo_us,
+            ))
+        elif tier == 1:
+            tenants.append(Tenant(
+                f"analytics{i}", priority=1, slo_us=5.0 * slo_us,
+            ))
+        else:
+            tenants.append(Tenant(f"batch{i}", priority=0))
+    return TenantSet(tenants)
+
+
+def _cmd_fleet(args) -> int:
+    import json as _json
+
+    from .fleet import FleetConfig, FleetSystem
+    from .serving import PoissonLoadGen
+    from .validate import install_monitors
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    if not modes:
+        modes = ["flep-spatial"]
+    # cycle the mode list out to --gpus entries
+    node_modes = [modes[i % len(modes)] for i in range(args.gpus)]
+    tenants = _build_fleet_tenants(args.tenants, args.slo)
+    fleet = FleetSystem(
+        tenants,
+        FleetConfig(
+            node_modes=node_modes,
+            routing=args.routing,
+            policy=args.policy,
+            seed=args.seed,
+            max_inflight=args.max_inflight,
+            steal=not args.no_steal,
+            steal_interval_us=args.steal_interval,
+            steal_threshold_us=args.steal_threshold,
+        ),
+    )
+    bundle = install_monitors(fleet, require_complete=True)
+    kernels = args.kernels.split(",")
+    for i, t in enumerate(tenants):
+        fleet.add_generator(PoissonLoadGen(
+            tenant=t.name,
+            kernels=kernels,
+            rate_per_ms=args.rate,
+            duration_ms=args.duration,
+            seed=args.seed + i,
+            input_names=(args.input,),
+            priority=t.priority,
+        ))
+    report = fleet.run()
+    bundle.finalize()
+    if args.json:
+        print(_json.dumps({
+            "schema": "flep-fleet/1",
+            "config": {
+                "gpus": args.gpus,
+                "node_modes": node_modes,
+                "routing": args.routing,
+                "policy": args.policy,
+                "tenants": args.tenants,
+                "rate_per_ms": args.rate,
+                "duration_ms": args.duration,
+                "seed": args.seed,
+                "steal": not args.no_steal,
+            },
+            **report.as_dict(),
+        }, indent=2, default=str))
+    else:
+        print(report.format())
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json as _json
 
@@ -458,6 +541,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also dump the serving metrics in Prometheus "
                               "text format")
     serve_p.set_defaults(fn=_cmd_serve)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="multi-GPU fleet: routed, work-stealing serving simulation",
+    )
+    fleet_p.add_argument("--gpus", type=int, default=4,
+                         help="number of simulated GPUs (default 4)")
+    fleet_p.add_argument("--modes", default="flep-spatial",
+                         help="comma list of per-node modes, cycled out to "
+                              "--gpus (mps|flep-temporal|flep-spatial)")
+    fleet_p.add_argument("--routing", default="deadline",
+                         choices=["round-robin", "least-loaded", "deadline",
+                                  "affinity"],
+                         help="dispatch policy (default deadline)")
+    fleet_p.add_argument("--policy", default="edf",
+                         help="per-node FLEP scheduling policy (default edf)")
+    fleet_p.add_argument("--tenants", type=int, default=6,
+                         help="tenant count: web/analytics/batch thirds")
+    fleet_p.add_argument("--rate", type=float, default=1.0,
+                         help="per-tenant Poisson rate (requests/ms)")
+    fleet_p.add_argument("--duration", type=float, default=20.0,
+                         help="arrival window in ms")
+    fleet_p.add_argument("--slo", type=float, default=4000.0,
+                         help="interactive-tier SLO in µs (default 4000)")
+    fleet_p.add_argument("--kernels", default="SPMV,MM,PL",
+                         help="kernel mix for the load generators")
+    fleet_p.add_argument("--input", default="small",
+                         help="input size for generated requests")
+    fleet_p.add_argument("--seed", type=int, default=7)
+    fleet_p.add_argument("--max-inflight", type=int, default=4,
+                         help="per-node dispatch window (default 4)")
+    fleet_p.add_argument("--no-steal", action="store_true",
+                         help="disable the work-stealing rebalancer")
+    fleet_p.add_argument("--steal-interval", type=float, default=500.0,
+                         help="µs between rebalance ticks (default 500)")
+    fleet_p.add_argument("--steal-threshold", type=float, default=200.0,
+                         help="µs load gap before stealing (default 200)")
+    fleet_p.add_argument("--json", action="store_true",
+                         help="emit the flep-fleet/1 JSON rollup")
+    fleet_p.set_defaults(fn=_cmd_fleet)
 
     trace_p = sub.add_parser(
         "trace",

@@ -111,10 +111,13 @@ class EDFPolicy(SchedulingPolicy):
         if kr.priority > priority:
             return  # a higher-priority kernel owns the GPU
         if kr.priority < priority:
-            raise RuntimeEngineError(
-                "invariant violated: a lower-priority kernel is running "
-                "while higher-priority work waits"
-            )
+            # With three or more priority levels, guest promotion after a
+            # completion can hand the GPU to a lower-priority co-runner
+            # while higher-priority work waits. Respond exactly as if the
+            # waiting head had just arrived: preempt the host for it.
+            self._remove(ks)
+            self._preempt_for(kr, ks)
+            return
         # same priority: preempt only for a strictly earlier deadline,
         # and only when the victim's remaining work exceeds the overhead
         overhead = rt.preemption_overhead_us(kr)

@@ -12,7 +12,6 @@ minimization (§5.2.1, Figure 6).
 
 from __future__ import annotations
 
-from ...errors import RuntimeEngineError
 from ...runtime.queues import PriorityQueues
 from .base import SchedulingPolicy
 
@@ -79,10 +78,13 @@ class HPFPolicy(SchedulingPolicy):
         if kr.priority > priority:
             return  # a higher-priority kernel owns the GPU
         if kr.priority < priority:
-            raise RuntimeEngineError(
-                "invariant violated: a lower-priority kernel is running "
-                "while higher-priority work waits"
-            )
+            # With three or more priority levels, guest promotion after a
+            # completion can hand the GPU to a lower-priority co-runner
+            # while higher-priority work waits. Respond exactly as if the
+            # waiting head had just arrived: preempt the host for it.
+            self.queues.remove(ks)
+            self._preempt_for(kr, ks)
+            return
         # same priority: preempt only if it pays off net of overhead
         overhead = rt.preemption_overhead_us(kr)
         if kr.record.remaining_us > ks.record.remaining_us + overhead:

@@ -71,6 +71,11 @@ class ServingError(ReproError):
     """The multi-tenant serving layer was misconfigured or misused."""
 
 
+class FleetError(ReproError):
+    """The multi-GPU fleet layer (dispatcher, routing, work stealing)
+    was misconfigured or driven into an invalid state."""
+
+
 class ObservabilityError(ReproError):
     """Invalid metric/span registration, observation, or export."""
 

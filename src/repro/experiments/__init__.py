@@ -17,6 +17,7 @@ from . import (
     fig15,
     fig16,
     fig17,
+    fleet,
     serving,
     table1,
     variance,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "ffs3": ffs3,
     "variance": variance,
     "serving": serving,
+    "fleet": fleet,
 }
 
 __all__ = [

@@ -1,0 +1,48 @@
+"""Multi-GPU fleet: cluster dispatcher, routing, work stealing, rollups.
+
+The fleet layer scales the single-GPU serving stack out to N
+independently-clocked simulated GPUs behind one front door:
+
+* :mod:`.node` — one GPU wrapped in a per-node FLEP/MPS runtime and a
+  stealable queue;
+* :mod:`.routing` — pluggable dispatch policies (round-robin,
+  least-loaded, deadline-aware, tenant-affinity with spill);
+* :mod:`.dispatcher` — the :class:`FleetSystem` facade: conservative
+  co-simulation of all node clocks, front-door rate limiting, the
+  work-stealing rebalancer, ``flep_fleet_*`` metrics;
+* :mod:`.rollup` — fleet/per-node reports and Chrome-trace export.
+"""
+
+from .dispatcher import FleetConfig, FleetHook, FleetSystem, WorkStealer
+from .node import FleetNode, NodeConfig, NodeRequest, NodeStats
+from .rollup import FleetReport, NodeReport, build_report
+from .routing import (
+    ROUTERS,
+    DeadlineAwareRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    TenantAffinityRouter,
+    make_router,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetHook",
+    "FleetNode",
+    "FleetReport",
+    "FleetSystem",
+    "NodeConfig",
+    "NodeReport",
+    "NodeRequest",
+    "NodeStats",
+    "ROUTERS",
+    "RoutingPolicy",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "DeadlineAwareRouter",
+    "TenantAffinityRouter",
+    "WorkStealer",
+    "build_report",
+    "make_router",
+]

@@ -1,0 +1,443 @@
+"""The cluster front-end: route, rebalance, roll up.
+
+:class:`FleetSystem` is the multi-GPU analogue of
+:class:`~repro.serving.server.ServingSystem` and mirrors its API
+(``add_trace`` / ``add_generator`` / ``submit_at`` / ``run``): tenants
+send requests to one front door, a pluggable :mod:`routing <.routing>`
+policy picks the node, each node (:mod:`.node`) runs its own
+independently-clocked FLEP or MPS GPU, and the run ends in a
+fleet-level :mod:`rollup <.rollup>`.
+
+**Co-simulation.** Each node owns a private simulator, so the fleet is
+N event loops that must agree on time whenever they interact. The
+dispatcher runs a conservative protocol: it walks the global control
+points in order — request arrivals and periodic work-stealing ticks —
+and before acting at control point *t* it advances **every** node's
+simulator to *t*. Routing and stealing therefore always observe node
+states at the decision time, and because nothing else couples the
+nodes, whatever each simulator does between control points cannot be
+invalidated later. Same seed, same control points, same decisions:
+fleet runs are bit-reproducible.
+
+**Work stealing.** At each tick the rebalancer compares node loads and
+migrates requests from the most- to the least-loaded node while the gap
+exceeds ``steal_threshold_us`` and the move actually shrinks it. Only
+*queued* requests move — a dispatched request belongs to its GPU (its
+kernel state lives there) — and the steal API plus the fleet
+conformance monitor (:mod:`repro.validate.fleet`) both enforce it.
+
+**Accounting.** One fleet-wide :class:`~repro.serving.slo.SLOTracker`
+records every request (the ``flep_serving_*`` metric family therefore
+reports fleet totals); tenant rate limits are enforced once at the
+front door (per-node enforcement would multiply every budget by N); and
+the dispatcher adds the ``flep_fleet_*`` family for routing, stealing
+and per-node load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import FleetError
+from ..gpu.device import GPUDeviceSpec, tesla_k40
+from ..obs.recorder import NULL_OBS, Observability, get_global
+from ..serving.admission import TokenBucket
+from ..serving.loadgen import LoadGenerator, merge_traces
+from ..serving.slo import SLOTracker
+from ..serving.tenants import Tenant, TenantSet
+from ..workloads.benchmarks import BenchmarkSuite, standard_suite
+from ..workloads.synthetic import Arrival, ArrivalTrace
+from .node import FleetNode, NodeConfig, NodeRequest
+from .routing import RoutingPolicy, make_router
+from .rollup import FleetReport, build_report
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of the whole fleet."""
+
+    #: Execution mode per node (one entry per GPU); a heterogeneous
+    #: fleet mixes e.g. ``["mps", "flep-temporal", "flep-spatial", ...]``.
+    node_modes: Sequence[str] = ("flep-spatial", "flep-spatial")
+    #: Routing policy name (see :data:`repro.fleet.routing.ROUTERS`).
+    routing: str = "deadline"
+    #: FLEP scheduling policy on each node.
+    policy: str = "edf"
+    #: Per-node admission override (``None`` = each mode's default).
+    admission: Optional[bool] = None
+    delay_headroom: float = 0.5
+    oracle_model: bool = False
+    seed: Optional[int] = None
+    #: Per-node dispatch window (requests inside the backend at once).
+    max_inflight: int = 4
+    #: Work-stealing rebalancer on/off.
+    steal: bool = True
+    #: Simulated time between rebalance ticks (µs).
+    steal_interval_us: float = 500.0
+    #: Minimum hot/cold load gap before any migration happens (µs).
+    steal_threshold_us: float = 200.0
+    #: Migration budget per tick (keeps rebalancing incremental).
+    max_steals_per_tick: int = 2
+
+    def __post_init__(self):
+        if not self.node_modes:
+            raise FleetError("a fleet needs at least one node")
+        if self.steal_interval_us <= 0:
+            raise FleetError("steal_interval_us must be positive")
+        if self.steal_threshold_us < 0:
+            raise FleetError("steal_threshold_us must be >= 0")
+        if self.max_steals_per_tick < 1:
+            raise FleetError("max_steals_per_tick must be >= 1")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_modes)
+
+
+class FleetHook:
+    """Observer interface for fleet-level events (monitors, metrics).
+
+    The dispatcher and its nodes call these as things happen; the base
+    class is all no-ops so hooks override only what they watch.
+    """
+
+    def on_route(self, req: NodeRequest, node: int) -> None:
+        """``req`` was assigned to ``node`` by the routing policy."""
+
+    def on_steal(self, req: NodeRequest, src: int, dst: int) -> None:
+        """``req`` was migrated from node ``src`` to node ``dst``."""
+
+    def on_dispatch(self, req: NodeRequest, node: int) -> None:
+        """``req`` left the node queue and entered the backend runtime."""
+
+    def on_resolve(self, req: NodeRequest, node: int) -> None:
+        """``req`` reached a terminal state (done or shed) on ``node``."""
+
+    def finalize(self, fleet: "FleetSystem") -> None:
+        """End-of-run checks after every node drained."""
+
+
+class WorkStealer:
+    """Hot→cold queue rebalancer (runs at dispatcher control points).
+
+    At each tick: compare the most-loaded node owning stealable work
+    with the least-loaded node; while the load gap exceeds the
+    threshold *and* moving the hottest node's most-recent queue entry
+    would shrink it, migrate that entry. The tail (not the head) moves
+    because the head is next to dispatch where it is — migrating it
+    would trade queue position for nothing.
+    """
+
+    def __init__(self, threshold_us: float, max_per_tick: int):
+        self.threshold_us = threshold_us
+        self.max_per_tick = max_per_tick
+
+    def rebalance(
+        self, nodes: Sequence[FleetNode], on_steal=None
+    ) -> List[Tuple[NodeRequest, int, int]]:
+        """Perform up to ``max_per_tick`` migrations; return the moves.
+
+        ``on_steal(req, src, dst)`` (if given) fires mid-migration —
+        after the request left its source, before the destination
+        re-queues it — which is the instant the steal-safety monitor
+        can observe the request's detached (``routed``) state.
+        """
+        moves: List[Tuple[NodeRequest, int, int]] = []
+        if len(nodes) < 2:
+            return moves
+        while len(moves) < self.max_per_tick:
+            loads = [n.load_us() for n in nodes]
+            # hottest node that actually has queued (stealable) work
+            candidates = [i for i in range(len(nodes)) if nodes[i].queue]
+            if not candidates:
+                break
+            src = max(candidates, key=lambda i: (loads[i], -i))
+            dst = min(range(len(nodes)), key=lambda i: (loads[i], i))
+            gap = loads[src] - loads[dst]
+            if src == dst or gap <= self.threshold_us:
+                break
+            req = nodes[src].peek_tail()
+            if req is None or req.predicted_us >= gap:
+                break  # the move would overshoot: leave it be
+            nodes[src].take(req)
+            if on_steal is not None:
+                on_steal(req, src, dst)
+            nodes[dst].accept_stolen(req)
+            moves.append((req, src, dst))
+        return moves
+
+
+class FleetSystem:
+    """One multi-GPU serving run: route → execute → steal → roll up."""
+
+    def __init__(
+        self,
+        tenants: Union[TenantSet, List[Tenant]],
+        config: Optional[FleetConfig] = None,
+        device: Optional[GPUDeviceSpec] = None,
+        suite: Optional[BenchmarkSuite] = None,
+        observability: Union[bool, Observability, None] = None,
+    ):
+        self.tenants = (
+            tenants if isinstance(tenants, TenantSet) else TenantSet(tenants)
+        )
+        self.config = config or FleetConfig()
+        #: fleet time: the last control point every node was advanced to
+        self._now = 0.0
+        if isinstance(observability, Observability):
+            self.obs = observability
+        elif observability:
+            self.obs = Observability(clock=lambda: self._now)
+        else:
+            self.obs = get_global() or NULL_OBS
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self._now)
+        # One device spec + calibrated suite shared by every node (the
+        # nodes' simulators are private; the specs are read-only).
+        self.device = device or tesla_k40()
+        self.suite = suite or standard_suite(self.device)
+        self.tracker = SLOTracker(self.tenants, obs=self.obs)
+        self.router: RoutingPolicy = make_router(self.config.routing)
+        self.hooks: List[FleetHook] = []
+        seed = self.config.seed
+        self.nodes: List[FleetNode] = [
+            FleetNode(
+                index=i,
+                tenants=self.tenants,
+                config=NodeConfig(
+                    mode=mode,
+                    policy=self.config.policy,
+                    admission=self.config.admission,
+                    delay_headroom=self.config.delay_headroom,
+                    oracle_model=self.config.oracle_model,
+                    seed=(seed + i) if seed is not None else None,
+                    max_inflight=self.config.max_inflight,
+                ),
+                tracker=self.tracker,
+                device=self.device,
+                suite=self.suite,
+                hooks=self.hooks,
+            )
+            for i, mode in enumerate(self.config.node_modes)
+        ]
+        self.stealer = WorkStealer(
+            self.config.steal_threshold_us, self.config.max_steals_per_tick
+        )
+        # Front-door rate limiting: one bucket per rate-limited tenant,
+        # enforced once for the whole fleet (nodes see no rate limits).
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_limit_rps, t.burst)
+            for t in self.tenants
+            if t.rate_limit_rps is not None
+        }
+        self._models = None  # canonical duration predictor, built lazily
+        self._next_req_id = 1
+        self.requests: List[NodeRequest] = []
+        self.steals: List[Tuple[float, int, int, int]] = []
+        #: (t_us, node, queue_len, load_us) samples from steal ticks —
+        #: the rollup exports them as per-node Chrome counter tracks
+        self.load_samples: List[Tuple[float, int, int, float]] = []
+        self._traces: List[ArrivalTrace] = []
+        self._ran = False
+        if self.obs.enabled:
+            m = self.obs.metrics
+            self._m_routed = m.counter(
+                "flep_fleet_routed_total",
+                "requests assigned to each node by the routing policy",
+                ("node",),
+            )
+            self._m_steals = m.counter(
+                "flep_fleet_steals_total",
+                "queued requests migrated between nodes",
+                ("src", "dst"),
+            )
+            self._m_load = m.gauge(
+                "flep_fleet_node_load_us",
+                "admitted-but-unfinished predicted work per node (µs)",
+                ("node",),
+            )
+            self._m_qlen = m.gauge(
+                "flep_fleet_queue_len",
+                "stealable (queued, undispatched) requests per node",
+                ("node",),
+            )
+            self._m_attain = m.gauge(
+                "flep_fleet_attainment_ratio",
+                "fleet-wide fraction of SLO-carrying requests meeting it",
+            )
+
+    # ------------------------------------------------------------------
+    # workload wiring (ServingSystem's API, verbatim)
+    # ------------------------------------------------------------------
+    def add_trace(self, trace: ArrivalTrace) -> None:
+        """Queue an open-loop arrival trace (tenants must be known)."""
+        for a in trace.arrivals:
+            if a.tenant not in self.tenants:
+                raise FleetError(f"trace names unknown tenant {a.tenant!r}")
+        self._traces.append(trace)
+
+    def add_generator(self, gen: LoadGenerator) -> None:
+        self.add_trace(gen.generate())
+
+    def submit_at(
+        self, at_us: float, tenant: str, kernel: str,
+        input_name: str = "large",
+    ) -> None:
+        """One explicit request at ``at_us`` (e.g. the long batch job)."""
+        self.add_trace(ArrivalTrace(arrivals=[
+            Arrival(at_us=at_us, kernel_name=kernel, input_name=input_name,
+                    tenant=tenant)
+        ]))
+
+    # ------------------------------------------------------------------
+    # predictions
+    # ------------------------------------------------------------------
+    def predicted_us(self, kernel: str, input_name: str) -> float:
+        """The fleet's one canonical duration prediction per request —
+        routing and every node's admission all budget with the same
+        number, whatever backend the request lands on."""
+        if self._models is None:
+            from ..runtime.models import ModelBank, OracleModelBank
+
+            if self.config.oracle_model:
+                self._models = OracleModelBank(self.suite, self.device)
+            else:
+                self._models = ModelBank(
+                    self.suite, seed=self.config.seed or 0,
+                    device=self.device,
+                )
+        kspec = self.suite[kernel]
+        return self._models.predict(kernel, kspec.input(input_name))
+
+    # ------------------------------------------------------------------
+    # co-simulation control loop
+    # ------------------------------------------------------------------
+    def _advance_all(self, until: float) -> None:
+        for node in self.nodes:
+            node.advance(until)
+        self._now = until
+
+    def _route(self, arrival: Arrival) -> None:
+        """One request through the front door at fleet time ``_now``."""
+        now = self._now
+        tenant = self.tenants[arrival.tenant]
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        predicted = self.predicted_us(arrival.kernel_name, arrival.input_name)
+        self.tracker.open_request(
+            req_id, tenant.name, now, arrival.kernel_name,
+            arrival.input_name, predicted,
+        )
+        bucket = self._buckets.get(tenant.name)
+        if bucket is not None and not bucket.try_take(now):
+            self.tracker.mark_shed(req_id, rate_limited=True)
+            return
+        deadline_rel = tenant.effective_deadline_us
+        req = NodeRequest(
+            req_id=req_id,
+            tenant=tenant,
+            kernel=arrival.kernel_name,
+            input_name=arrival.input_name,
+            arrived_us=now,
+            predicted_us=predicted,
+            deadline_us=(
+                now + deadline_rel if deadline_rel is not None else None
+            ),
+        )
+        self.requests.append(req)
+        idx = self.router.choose(req, self.nodes, now)
+        if not 0 <= idx < len(self.nodes):
+            raise FleetError(
+                f"router {self.router.name!r} chose node {idx} of "
+                f"{len(self.nodes)}"
+            )
+        for hook in self.hooks:
+            hook.on_route(req, idx)
+        if self.obs.enabled:
+            self._m_routed.inc(node=str(idx))
+        self.nodes[idx].enqueue(req)
+
+    def _steal_tick(self) -> None:
+        now = self._now
+
+        def record(req: NodeRequest, src: int, dst: int) -> None:
+            self.steals.append((now, req.req_id, src, dst))
+            for hook in self.hooks:
+                hook.on_steal(req, src, dst)
+            if self.obs.enabled:
+                self._m_steals.inc(src=str(src), dst=str(dst))
+
+        self.stealer.rebalance(self.nodes, on_steal=record)
+        for node in self.nodes:
+            self.load_samples.append(
+                (now, node.index, node.queue_len, node.load_us())
+            )
+            if self.obs.enabled:
+                self._m_load.set(node.load_us(), node=str(node.index))
+                self._m_qlen.set(node.queue_len, node=str(node.index))
+
+    def run(self, until: Optional[float] = None) -> FleetReport:
+        """Drive arrivals, steal ticks and node drains; build the rollup."""
+        if self._ran:
+            raise FleetError("a FleetSystem runs once; build a new one")
+        self._ran = True
+        if not self._traces:
+            raise FleetError("nothing to serve: add a trace or a submission")
+        arrivals = merge_traces(*self._traces).sorted()
+        cfg = self.config
+        tick = cfg.steal_interval_us
+        next_tick = tick if cfg.steal and len(self.nodes) > 1 else None
+        i = 0
+        # Phase 1 — arrivals interleaved with steal ticks, in time order.
+        while i < len(arrivals):
+            t_arr = arrivals[i].at_us
+            if next_tick is not None and until is not None and next_tick > until:
+                next_tick = None
+            if next_tick is not None and next_tick < t_arr:
+                self._advance_all(next_tick)
+                self._steal_tick()
+                next_tick += tick
+                continue
+            if until is not None and t_arr > until:
+                break
+            self._advance_all(t_arr)
+            # all arrivals sharing this timestamp route back-to-back
+            while i < len(arrivals) and arrivals[i].at_us == t_arr:
+                self._route(arrivals[i])
+                i += 1
+        # Phase 2 — no more arrivals: keep ticking while stealable work
+        # remains (queued work implies pending node events, so the tick
+        # times stay reachable), then let every node drain.
+        if next_tick is not None:
+            while any(node.queue for node in self.nodes):
+                if until is not None and next_tick > until:
+                    break
+                self._advance_all(next_tick)
+                self._steal_tick()
+                next_tick += tick
+        for node in self.nodes:
+            if until is None:
+                node.drain()
+            else:
+                node.advance(until)
+        self._now = max(node.sim.now for node in self.nodes)
+        for hook in self.hooks:
+            hook.finalize(self)
+        report = build_report(self)
+        if self.obs.enabled:
+            if report.fleet_attainment is not None:
+                self._m_attain.set(report.fleet_attainment)
+            self.obs.finalize()
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FleetSystem({len(self.nodes)} nodes, "
+            f"routing={self.config.routing!r}, now={self._now:.0f}us)"
+        )

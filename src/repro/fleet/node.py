@@ -1,0 +1,369 @@
+"""One fleet node: an independently-clocked simulated GPU behind a
+per-node queue manager.
+
+A :class:`FleetNode` wraps one per-GPU runtime — a
+:class:`~repro.core.flep.FlepSystem` (temporal- or spatial-preemption
+FLEP) or a plain :class:`~repro.baselines.mps_corun.MPSCoRun` — behind
+a small queue manager: routed requests wait in an explicit node queue,
+and at most ``max_inflight`` of them are dispatched into the backend
+runtime at a time. That split is what makes work stealing safe and
+cheap: only requests still in the node queue (state ``queued``) are
+ever migrated; a request handed to the backend (state ``dispatched``)
+belongs to that GPU until it completes.
+
+Each node owns its **own simulator clock**. The cluster dispatcher
+aligns the clocks at control points (arrivals, steal ticks) by calling
+:meth:`FleetNode.advance`; between control points nodes evolve
+independently, which is sound because nothing couples two GPUs except
+dispatch-time routing and queue-level stealing.
+
+Per-node SLO accounting reuses the serving layer unchanged: the node
+runs its requests through a (fleet-shared) SLO tracker and an
+:class:`~repro.serving.admission.AdmissionController` built over the
+same tenant set — admission budgets against *this node's* backlog, so
+an overloaded node sheds while an idle one accepts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional
+
+from ..baselines.mps_corun import MPSCoRun
+from ..core.flep import FlepSystem
+from ..errors import FleetError
+from ..runtime.engine import RuntimeConfig
+from ..serving.admission import AdmissionController, Decision
+from ..serving.server import MODES
+from ..serving.slo import SLOTracker
+from ..serving.tenants import Tenant, TenantSet
+
+#: Node-queue request lifecycle (the steal-safety invariant is stated
+#: over these): routed -> queued | held -> dispatched -> done, or shed.
+REQUEST_STATES = ("routed", "queued", "held", "dispatched", "done", "shed")
+
+
+@dataclass
+class NodeConfig:
+    """Knobs of one fleet node (mirrors ServingConfig where they meet)."""
+
+    mode: str = "flep-spatial"
+    #: Scheduling policy for the FLEP modes (EDF = deadline-aware).
+    policy: str = "edf"
+    #: Admission control on/off; ``None`` picks the mode's default
+    #: (on for FLEP, off for MPS — same rule as the serving layer).
+    admission: Optional[bool] = None
+    delay_headroom: float = 0.5
+    oracle_model: bool = False
+    seed: Optional[int] = None
+    #: Requests dispatched into the backend runtime at once; the rest
+    #: wait in the (stealable) node queue.
+    max_inflight: int = 4
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise FleetError(f"unknown node mode {self.mode!r} (have {MODES})")
+        if self.max_inflight < 1:
+            raise FleetError("max_inflight must be >= 1")
+
+    @property
+    def admission_enabled(self) -> bool:
+        if self.admission is not None:
+            return self.admission
+        return self.mode != "mps"
+
+
+@dataclass
+class NodeRequest:
+    """One routed request as the fleet layer tracks it."""
+
+    req_id: int
+    tenant: Tenant
+    kernel: str
+    input_name: str
+    #: Fleet-time arrival (when the dispatcher routed it).
+    arrived_us: float
+    predicted_us: float
+    #: Absolute completion deadline (µs); ``None`` = best-effort.
+    deadline_us: Optional[float] = None
+    state: str = "routed"
+    #: Index of the node currently owning the request.
+    node: Optional[int] = None
+    #: Times this request was migrated by the work stealer.
+    steals: int = 0
+    #: Node that actually completed it (for per-node attribution).
+    completed_node: Optional[int] = None
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters the rollup aggregates."""
+
+    routed: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    shed: int = 0
+    delayed: int = 0
+    stolen_in: int = 0
+    stolen_out: int = 0
+    peak_queue: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class FleetNode:
+    """One simulated GPU + queue manager inside the fleet."""
+
+    def __init__(
+        self,
+        index: int,
+        tenants: TenantSet,
+        config: Optional[NodeConfig] = None,
+        tracker: Optional[SLOTracker] = None,
+        device=None,
+        suite=None,
+        hooks: Optional[List] = None,
+    ):
+        self.index = index
+        self.tenants = tenants
+        self.config = config or NodeConfig()
+        mode = self.config.mode
+        if mode == "mps":
+            self.backend = MPSCoRun(
+                device=device, suite=suite, seed=self.config.seed
+            )
+            self.system: Optional[FlepSystem] = None
+        else:
+            self.system = FlepSystem(
+                policy=self.config.policy,
+                device=device,
+                suite=suite,
+                config=RuntimeConfig(
+                    spatial_enabled=(mode == "flep-spatial"),
+                    oracle_model=self.config.oracle_model,
+                ),
+                seed=self.config.seed,
+            )
+            self.backend = self.system
+        self.sim = self.backend.sim
+        #: Fleet-shared tracker (the dispatcher owns it); a standalone
+        #: node builds its own so it stays usable in isolation/tests.
+        self.tracker = tracker if tracker is not None else SLOTracker(tenants)
+        # Rate limiting is a *front-door* concern (a per-node bucket
+        # would multiply every tenant's budget by the fleet size), so
+        # node-level admission sees tenants without their rate limits.
+        self.admission = AdmissionController(
+            TenantSet([replace(t, rate_limit_rps=None) for t in tenants]),
+            delay_headroom=self.config.delay_headroom,
+        )
+        #: dispatcher-owned hook list (monitors, metrics); shared object.
+        self.hooks: List = hooks if hooks is not None else []
+        self.queue: Deque[NodeRequest] = deque()
+        self.inflight: Dict[int, NodeRequest] = {}
+        self.stats = NodeStats()
+        self._backlog_us: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # clock control (dispatcher only)
+    # ------------------------------------------------------------------
+    def advance(self, until: float) -> None:
+        """Run this node's simulator up to fleet time ``until``.
+
+        Idle nodes (empty event queue) have their clock moved forward
+        explicitly so a request routed at ``until`` is stamped at the
+        fleet time, not at whenever the node last had work.
+        """
+        if until < self.sim.now:
+            return
+        self.sim.run(until=until)
+        if self.sim.now < until:
+            self.sim.clock.advance_to(until)
+
+    def drain(self) -> None:
+        """Run this node to completion (no more control points)."""
+        self.sim.run()
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue and not self.inflight and self.sim.pending() == 0
+
+    # ------------------------------------------------------------------
+    # load introspection (read-only; the routing-policy contract)
+    # ------------------------------------------------------------------
+    def queued_us(self) -> float:
+        return sum(r.predicted_us for r in self.queue)
+
+    def inflight_us(self) -> float:
+        return sum(r.predicted_us for r in self.inflight.values())
+
+    def load_us(self) -> float:
+        """Admitted-but-unfinished predicted work on this node (µs)."""
+        return sum(self._backlog_us.values())
+
+    def backlog_for(self, priority: int) -> float:
+        """Backlog served at or above ``priority`` — under FLEP lower
+        priority work is preempted out of the way; under MPS everything
+        queues FIFO, so the whole backlog counts (same rule as
+        :meth:`repro.serving.server.ServingSystem.backlog_us`)."""
+        if self.config.mode == "mps":
+            return sum(self._backlog_us.values())
+        return sum(us for p, us in self._backlog_us.items() if p >= priority)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def enqueue(self, req: NodeRequest) -> None:
+        """Accept one routed request at the node's current clock."""
+        if req.state != "routed":
+            raise FleetError(
+                f"request #{req.req_id} enqueued in state {req.state!r}"
+            )
+        req.node = self.index
+        self.stats.routed += 1
+        if not self.config.admission_enabled:
+            self._accept(req)
+            return
+        verdict = self.admission.decide(
+            req.tenant, self.sim.now, req.predicted_us,
+            self.backlog_for(req.tenant.priority),
+        )
+        if verdict.decision is Decision.SHED:
+            req.state = "shed"
+            self.stats.shed += 1
+            self.tracker.mark_shed(req.req_id)
+            self._notify("on_resolve", req, self.index)
+        elif verdict.decision is Decision.DELAY:
+            req.state = "held"
+            self.stats.delayed += 1
+            self.tracker.mark_delayed(req.req_id)
+            self.sim.schedule(
+                verdict.hold_us, lambda: self._accept(req),
+                label=f"fleet-delay:n{self.index}",
+            )
+        else:
+            self._accept(req)
+
+    def _accept(self, req: NodeRequest) -> None:
+        """Admitted: join the (stealable) node queue and pump."""
+        req.state = "queued"
+        req.node = self.index
+        p = req.tenant.priority
+        self._backlog_us[p] = self._backlog_us.get(p, 0.0) + req.predicted_us
+        self.queue.append(req)
+        if len(self.queue) > self.stats.peak_queue:
+            self.stats.peak_queue = len(self.queue)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # work stealing (dispatcher's rebalancer only)
+    # ------------------------------------------------------------------
+    def peek_tail(self) -> Optional[NodeRequest]:
+        """The most recently queued request — the steal candidate."""
+        return self.queue[-1] if self.queue else None
+
+    def take(self, req: NodeRequest) -> NodeRequest:
+        """Remove a **queued** request for migration to another node.
+
+        Raises :class:`FleetError` for any request the node no longer
+        controls — dispatched, held, or resolved work is never migrated
+        (the fleet conformance monitor re-checks this independently).
+        """
+        if req.state != "queued":
+            raise FleetError(
+                f"cannot steal request #{req.req_id}: state is "
+                f"{req.state!r}, only queued requests migrate"
+            )
+        if req.req_id in self.inflight:
+            raise FleetError(
+                f"cannot steal request #{req.req_id}: dispatched on "
+                f"node {self.index}"
+            )
+        try:
+            self.queue.remove(req)
+        except ValueError:
+            raise FleetError(
+                f"request #{req.req_id} is not queued on node {self.index}"
+            ) from None
+        p = req.tenant.priority
+        self._backlog_us[p] = max(
+            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
+        )
+        req.state = "routed"
+        req.node = None
+        self.stats.stolen_out += 1
+        return req
+
+    def accept_stolen(self, req: NodeRequest) -> None:
+        """Take over a migrated request (no re-admission: it was already
+        admitted by the node that first accepted it)."""
+        if req.state != "routed":
+            raise FleetError(
+                f"stolen request #{req.req_id} arrives in state {req.state!r}"
+            )
+        req.steals += 1
+        self.stats.stolen_in += 1
+        self._accept(req)
+
+    # ------------------------------------------------------------------
+    # dispatch into the backend
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        while self.queue and len(self.inflight) < self.config.max_inflight:
+            req = self.queue.popleft()
+            self._dispatch(req)
+
+    def _dispatch(self, req: NodeRequest) -> None:
+        req.state = "dispatched"
+        self.inflight[req.req_id] = req
+        self.stats.dispatched += 1
+        self._notify("on_dispatch", req, self.index)
+        tenant = req.tenant
+        if self.system is not None:
+            self.system.runtime.submit(
+                process=tenant.name,
+                kernel=req.kernel,
+                input_name=req.input_name,
+                priority=tenant.priority,
+                tenant=tenant.name,
+                deadline_us=req.deadline_us,
+                on_finished=lambda inv, req=req: self._on_complete(req),
+            )
+        else:
+            self.backend.submit_at(
+                self.sim.now,
+                f"{tenant.name}#{req.req_id}",
+                req.kernel,
+                req.input_name,
+                on_done=lambda req=req: self._on_complete(req),
+            )
+
+    def _on_complete(self, req: NodeRequest) -> None:
+        req.state = "done"
+        req.completed_node = self.index
+        del self.inflight[req.req_id]
+        p = req.tenant.priority
+        self._backlog_us[p] = max(
+            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
+        )
+        self.stats.completed += 1
+        self.tracker.mark_completed(req.req_id, self.sim.now)
+        self._notify("on_resolve", req, self.index)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _notify(self, event: str, *args) -> None:
+        for hook in self.hooks:
+            getattr(hook, event)(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FleetNode#{self.index}({self.config.mode}, "
+            f"now={self.sim.now:.0f}us, queue={len(self.queue)}, "
+            f"inflight={len(self.inflight)})"
+        )

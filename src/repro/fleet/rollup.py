@@ -1,0 +1,235 @@
+"""Fleet-wide result aggregation.
+
+One :class:`FleetReport` per run: the fleet-level serving report (the
+shared SLO tracker already sees every request, so per-tenant rows come
+straight from :class:`~repro.serving.slo.SLOTracker.report`), one
+:class:`NodeReport` per GPU with the requests *attributed* to it
+(completed there, or shed by its admission controller), and the
+work-stealing ledger. Attribution follows the request, not the route:
+a stolen request counts for the node that finished it.
+
+When the fleet's observability hub is live, :func:`export_to_tracer`
+retrospectively emits one Chrome-trace **process per node** — a
+complete span per request served there plus queue-depth/load counter
+tracks sampled at steal ticks — so ``flep obs``-style trace files show
+the whole cluster side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FleetError
+from ..metrics.stats import percentiles
+from ..serving.slo import RequestLog, ServingReport
+
+
+@dataclass
+class NodeReport:
+    """One GPU's share of the fleet run."""
+
+    node: int
+    mode: str
+    makespan_us: float = 0.0
+    routed: int = 0
+    completed: int = 0
+    shed: int = 0
+    delayed: int = 0
+    stolen_in: int = 0
+    stolen_out: int = 0
+    peak_queue: int = 0
+    p50_us: Optional[float] = None
+    p95_us: Optional[float] = None
+    p99_us: Optional[float] = None
+    #: Attainment over this node's attributed SLO-carrying requests.
+    attainment: Optional[float] = None
+    goodput_rps: float = 0.0
+    #: Preemption events and their total modeled overhead (FLEP nodes).
+    preemptions: int = 0
+    preempt_overhead_us: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class FleetReport:
+    """The whole fleet run: per-tenant rows, per-node rows, steals."""
+
+    horizon_us: float
+    routing: str
+    n_nodes: int
+    serving: ServingReport
+    nodes: List[NodeReport] = field(default_factory=list)
+    #: (t_us, req_id, src, dst) per migration, in order.
+    steals: List[Tuple[float, int, int, int]] = field(default_factory=list)
+    p50_us: Optional[float] = None
+    p95_us: Optional[float] = None
+    p99_us: Optional[float] = None
+
+    @property
+    def fleet_attainment(self) -> Optional[float]:
+        """Fraction of all SLO-carrying requests (sheds included) that
+        completed within their SLO, across the whole fleet."""
+        good = total = 0
+        for row in self.serving.tenants:
+            if row.attainment is None:
+                continue
+            total += row.requests
+            good += round(row.attainment * row.requests)
+        return good / total if total else None
+
+    def node(self, index: int) -> NodeReport:
+        for row in self.nodes:
+            if row.node == index:
+                return row
+        raise FleetError(f"no node {index} in this report")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "horizon_us": self.horizon_us,
+            "routing": self.routing,
+            "n_nodes": self.n_nodes,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "fleet_attainment": self.fleet_attainment,
+            "steals": len(self.steals),
+            "serving": self.serving.as_dict(),
+            "nodes": [n.as_dict() for n in self.nodes],
+        }
+
+    def format(self) -> str:
+        def fmt_us(v: Optional[float]) -> str:
+            return f"{v:.0f}" if v is not None else "-"
+
+        def fmt_pct(v: Optional[float]) -> str:
+            return f"{100.0 * v:.1f}%" if v is not None else "-"
+
+        header = (
+            f"{'node':>4s} {'mode':14s} {'routed':>6s} {'done':>6s} "
+            f"{'shed':>5s} {'in':>4s} {'out':>4s} {'p99us':>8s} "
+            f"{'attain':>7s} {'goodput':>8s} {'preempt':>7s}"
+        )
+        lines = [
+            f"fleet: {self.n_nodes} nodes, routing={self.routing}, "
+            f"{len(self.steals)} steals, "
+            f"p99={fmt_us(self.p99_us)}us, "
+            f"attainment={fmt_pct(self.fleet_attainment)}",
+            header,
+            "-" * len(header),
+        ]
+        for n in self.nodes:
+            lines.append(
+                f"{n.node:4d} {n.mode:14s} {n.routed:6d} {n.completed:6d} "
+                f"{n.shed:5d} {n.stolen_in:4d} {n.stolen_out:4d} "
+                f"{fmt_us(n.p99_us):>8s} {fmt_pct(n.attainment):>7s} "
+                f"{n.goodput_rps:7.1f}/s {n.preemptions:7d}"
+            )
+        lines.append("")
+        lines.append(self.serving.format())
+        return "\n".join(lines)
+
+
+def build_report(fleet) -> FleetReport:
+    """Aggregate one finished :class:`~repro.fleet.dispatcher.FleetSystem`."""
+    horizon_us = max(node.sim.now for node in fleet.nodes)
+    serving = fleet.tracker.report(horizon_us=horizon_us)
+    report = FleetReport(
+        horizon_us=horizon_us,
+        routing=fleet.config.routing,
+        n_nodes=len(fleet.nodes),
+        serving=serving,
+        steals=list(fleet.steals),
+    )
+    logs: Dict[int, RequestLog] = {
+        log.req_id: log for log in fleet.tracker.requests
+    }
+    all_lat = [
+        log.latency_us for log in logs.values()
+        if log.latency_us is not None
+    ]
+    if all_lat:
+        report.p50_us, report.p95_us, report.p99_us = percentiles(all_lat)
+    horizon_s = max(horizon_us, 1.0) / 1e6
+    for node in fleet.nodes:
+        row = NodeReport(
+            node=node.index,
+            mode=node.config.mode,
+            makespan_us=node.sim.now,
+            routed=node.stats.routed,
+            completed=node.stats.completed,
+            shed=node.stats.shed,
+            delayed=node.stats.delayed,
+            stolen_in=node.stats.stolen_in,
+            stolen_out=node.stats.stolen_out,
+            peak_queue=node.stats.peak_queue,
+        )
+        # Attribution: completions by the node that ran them, sheds by
+        # the node whose admission controller dropped them.
+        mine = [
+            r for r in fleet.requests
+            if (r.completed_node == node.index)
+            or (r.state == "shed" and r.node == node.index)
+        ]
+        latencies = []
+        good = slo_total = 0
+        for r in mine:
+            log = logs[r.req_id]
+            if log.latency_us is not None:
+                latencies.append(log.latency_us)
+            if log.slo_us is not None:
+                slo_total += 1
+                if log.slo_met:
+                    good += 1
+        if latencies:
+            row.p50_us, row.p95_us, row.p99_us = percentiles(latencies)
+        if slo_total:
+            row.attainment = good / slo_total
+            row.goodput_rps = good / horizon_s
+        else:
+            row.goodput_rps = row.completed / horizon_s
+        if node.system is not None:
+            rt = node.system.runtime
+            for inv in rt.invocations:
+                if inv.record.preemptions:
+                    row.preemptions += inv.record.preemptions
+                    row.preempt_overhead_us += (
+                        inv.record.preemptions * rt.preemption_overhead_us(inv)
+                    )
+        report.nodes.append(row)
+    if fleet.obs.enabled:
+        export_to_tracer(fleet, logs)
+    return report
+
+
+def export_to_tracer(fleet, logs: Dict[int, RequestLog]) -> None:
+    """Emit per-node Chrome-trace processes into the fleet's obs hub.
+
+    Retrospective (`tracer.complete` / `counter_at`): the per-node
+    simulators have already drained, so every span is closed and every
+    counter sample carries its original timestamp.
+    """
+    tracer = fleet.obs.tracer
+    for req in fleet.requests:
+        if req.completed_node is None:
+            continue
+        log = logs[req.req_id]
+        if log.finished_us is None:
+            continue
+        tracer.complete(
+            f"req#{req.req_id} {req.kernel}[{req.input_name}]",
+            start_us=log.arrived_us,
+            end_us=log.finished_us,
+            cat="fleet",
+            process=f"node:{req.completed_node}",
+            track=req.tenant.priority,
+            tenant=req.tenant.name,
+            steals=req.steals,
+        )
+    for t_us, node, queue_len, load_us in fleet.load_samples:
+        tracer.counter_at(
+            "fleet_queue", t_us, process=f"node:{node}",
+            queued=queue_len, load_us=load_us,
+        )

@@ -1,0 +1,168 @@
+"""Pluggable routing policies for the cluster dispatcher.
+
+A routing policy answers one question per arriving request: which node
+serves it? The contract (enforced by the dispatcher and exercised by
+``tests/fleet/test_routing.py``):
+
+* ``choose(req, nodes, now)`` returns an integer index in
+  ``[0, len(nodes))``;
+* the policy must not mutate the nodes — it may only read their load
+  introspection API (``load_us()``, ``backlog_for()``, ``queue_len``);
+  a policy may keep *internal* state (round-robin's cursor);
+* the decision must be deterministic: same request sequence against the
+  same node states picks the same nodes, so fleet runs are
+  bit-reproducible per seed. Ties always break toward the lowest node
+  index.
+
+The catalogue:
+
+================  =====================================================
+Router            Decision
+================  =====================================================
+round-robin       Cycle through the nodes in index order, ignoring
+                  state entirely — the baseline every smarter policy is
+                  judged against.
+least-loaded      The node with the least admitted-but-unfinished
+                  predicted work (queued + inflight).
+deadline          SLO-aware (Hummingbird's argument): estimate each
+                  node's completion time for this request — now + the
+                  backlog that will be served at or above the request's
+                  priority + the predicted duration — and pick the node
+                  that finishes earliest, preferring nodes that meet
+                  the absolute deadline. Requests without a deadline
+                  fall back to least-loaded.
+affinity          Tenant affinity with spill: a stable hash of the
+                  tenant name pins each tenant to a preferred node
+                  (cache/model locality in a real cluster); when the
+                  preferred node is overloaded relative to the fleet
+                  mean, the request spills to the least-loaded node.
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Dict, Sequence, Type
+
+from ..errors import FleetError
+
+
+class RoutingPolicy(abc.ABC):
+    """One dispatch decision per request (see the module contract)."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, req, nodes: Sequence, now: float) -> int:
+        """Index of the node that serves ``req`` (arriving at ``now``)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _least_loaded(nodes: Sequence) -> int:
+        """Lowest-index node with the minimum predicted load."""
+        return min(range(len(nodes)), key=lambda i: (nodes[i].load_us(), i))
+
+
+class RoundRobinRouter(RoutingPolicy):
+    """Cycle through nodes in index order; state-blind baseline."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, req, nodes: Sequence, now: float) -> int:
+        idx = self._next % len(nodes)
+        self._next = idx + 1
+        return idx
+
+
+class LeastLoadedRouter(RoutingPolicy):
+    """Join the node with the least admitted-but-unfinished work."""
+
+    name = "least-loaded"
+
+    def choose(self, req, nodes: Sequence, now: float) -> int:
+        return self._least_loaded(nodes)
+
+
+class DeadlineAwareRouter(RoutingPolicy):
+    """Earliest-estimated-finish routing, deadline requests first-class.
+
+    For a request carrying an absolute deadline the router estimates,
+    per node, when the request would complete there — ``now`` plus the
+    node's backlog at-or-above the request's priority plus the
+    predicted duration — and joins the earliest-finishing node
+    (deadline-meeting nodes strictly preferred over missing ones, so a
+    uniformly-overloaded fleet still picks the least-bad node). Requests
+    without a deadline are routed least-loaded so best-effort work
+    fills the valleys.
+    """
+
+    name = "deadline"
+
+    def choose(self, req, nodes: Sequence, now: float) -> int:
+        if req.deadline_us is None:
+            return self._least_loaded(nodes)
+        best_idx = 0
+        best_key = None
+        for i, node in enumerate(nodes):
+            finish = now + node.backlog_for(req.tenant.priority) + req.predicted_us
+            key = (finish > req.deadline_us, finish, i)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+
+class TenantAffinityRouter(RoutingPolicy):
+    """Stable tenant→node pinning, spilling when the home node is hot.
+
+    ``spill_factor`` scales the fleet-mean load: the preferred node is
+    used while its load stays within ``spill_factor × mean + slack``;
+    beyond that the request spills to the least-loaded node (and the
+    tenant's locality benefit is forfeited for this request only).
+    """
+
+    name = "affinity"
+
+    def __init__(self, spill_factor: float = 2.0, slack_us: float = 1_000.0):
+        if spill_factor < 1.0:
+            raise FleetError("affinity spill_factor must be >= 1")
+        if slack_us < 0:
+            raise FleetError("affinity slack_us must be >= 0")
+        self.spill_factor = spill_factor
+        self.slack_us = slack_us
+
+    @staticmethod
+    def preferred_node(tenant_name: str, n_nodes: int) -> int:
+        """Stable (process-independent) tenant→node hash."""
+        return zlib.crc32(tenant_name.encode("utf-8")) % n_nodes
+
+    def choose(self, req, nodes: Sequence, now: float) -> int:
+        pref = self.preferred_node(req.tenant.name, len(nodes))
+        loads = [n.load_us() for n in nodes]
+        mean = sum(loads) / len(loads)
+        if loads[pref] <= self.spill_factor * mean + self.slack_us:
+            return pref
+        return self._least_loaded(nodes)
+
+
+#: routing-policy name -> class (the `flep fleet --routing` choices)
+ROUTERS: Dict[str, Type[RoutingPolicy]] = {
+    r.name: r
+    for r in (
+        RoundRobinRouter,
+        LeastLoadedRouter,
+        DeadlineAwareRouter,
+        TenantAffinityRouter,
+    )
+}
+
+
+def make_router(name: str, **kwargs) -> RoutingPolicy:
+    """Instantiate a registered routing policy by name."""
+    if name not in ROUTERS:
+        raise FleetError(f"unknown routing policy {name!r} (have {sorted(ROUTERS)})")
+    return ROUTERS[name](**kwargs)

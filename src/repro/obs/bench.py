@@ -21,7 +21,10 @@ varies with the machine):
 * ``preempt_storm`` — one long batch kernel preempted by a train of
   short high-priority arrivals (drain mechanics dominated);
 * ``fuzz_stress`` — seeded cases from the conformance fuzzer's
-  generator, replayed without monitors (mixed modes and policies).
+  generator, replayed without monitors (mixed modes and policies);
+* ``fleet_sweep`` — a heterogeneous three-node fleet (spatial /
+  temporal / MPS) under Poisson load with deadline routing and work
+  stealing: the multi-simulator co-simulation path.
 
 The workload sizes scale with ``--budget`` (``small`` for CI smoke,
 ``default`` for the tracked trajectory, ``large`` for profiling
@@ -175,6 +178,44 @@ def _scenario_fuzz_stress(scale: float) -> Dict[str, object]:
     return {"cases": n_cases, "invocations": invocations}
 
 
+def _scenario_fleet_sweep(scale: float) -> Dict[str, object]:
+    """A small heterogeneous fleet under Poisson load: co-simulated
+    multi-GPU dispatch, deadline routing and work stealing."""
+    from ..fleet import FleetConfig, FleetSystem
+    from ..serving import PoissonLoadGen, Tenant
+
+    tenants = [
+        Tenant("web", priority=2, slo_us=3_000.0),
+        Tenant("analytics", priority=1, slo_us=25_000.0),
+        Tenant("batch", priority=0),
+    ]
+    fleet = FleetSystem(tenants, FleetConfig(
+        node_modes=("flep-spatial", "flep-temporal", "mps"),
+        routing="deadline", oracle_model=True, seed=11,
+    ))
+    duration = 40.0 * scale
+    fleet.add_generator(PoissonLoadGen(
+        tenant="web", kernels=("SPMV", "MM", "PL"), rate_per_ms=1.5,
+        duration_ms=duration, seed=11, input_names=("trivial",),
+        priority=2,
+    ))
+    fleet.add_generator(PoissonLoadGen(
+        tenant="analytics", kernels=("SPMV", "MM"), rate_per_ms=0.4,
+        duration_ms=duration, seed=12, input_names=("small",),
+        priority=1,
+    ))
+    fleet.add_generator(PoissonLoadGen(
+        tenant="batch", kernels=("VA", "NN"), rate_per_ms=0.05,
+        duration_ms=duration, seed=13, input_names=("large",),
+        priority=0,
+    ))
+    report = fleet.run()
+    return {
+        "requests": sum(t.requests for t in report.serving.tenants),
+        "steals": len(report.steals),
+    }
+
+
 @dataclass(frozen=True)
 class BenchScenario:
     """One named macro-benchmark workload."""
@@ -202,6 +243,10 @@ SCENARIOS: Dict[str, BenchScenario] = {
         BenchScenario(
             "fuzz_stress", _scenario_fuzz_stress,
             "seeded fuzz-generator cases without monitors (mixed modes)",
+        ),
+        BenchScenario(
+            "fleet_sweep", _scenario_fleet_sweep,
+            "heterogeneous 3-node fleet, deadline routing + work stealing",
         ),
     )
 }

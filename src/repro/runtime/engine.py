@@ -175,6 +175,12 @@ class FlepRuntime:
         self.running: Optional[KernelInvocation] = None
         self.guests: List[KernelInvocation] = []
         self.invocations: List[KernelInvocation] = []
+        #: unfinished invocations by id, insertion-ordered — the set
+        #: ``_refresh_all`` walks. Keeping it separate from
+        #: ``invocations`` makes the per-event refresh O(live) instead of
+        #: O(ever-submitted), which is what lets serving-scale runs
+        #: (tens of thousands of requests) stay linear.
+        self._live: Dict[int, KernelInvocation] = {}
         self.journal = DecisionJournal()
         self.memory_governor = None
         if self.config.enforce_memory:
@@ -213,6 +219,7 @@ class FlepRuntime:
         )
         inv.on_finished = on_finished
         self.invocations.append(inv)
+        self._live[inv.inv_id] = inv
         self._refresh_all()
         detail = f"prio={priority}, T_e={predicted:.0f}us"
         if deadline_us is not None:
@@ -357,6 +364,7 @@ class FlepRuntime:
             return
         self._refresh_all()
         inv.record.mark_finished(self.sim.now)
+        self._live.pop(inv.inv_id, None)
         self.journal.record(self.sim.now, DecisionKind.COMPLETE, inv)
         if self.obs.enabled:
             self.obs.inv_finished(inv)
@@ -428,9 +436,8 @@ class FlepRuntime:
 
     def _refresh_all(self) -> None:
         now = self.sim.now
-        for inv in self.invocations:
-            if not inv.finished:
-                inv.record.refresh(now)
+        for inv in self._live.values():
+            inv.record.refresh(now)
 
     # ------------------------------------------------------------------
     # reporting

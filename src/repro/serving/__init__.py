@@ -39,6 +39,7 @@ from .loadgen import (
     load_trace,
     merge_traces,
     save_trace,
+    split_trace,
 )
 from .server import MODES, ServingConfig, ServingSystem
 from .slo import (
@@ -73,4 +74,5 @@ __all__ = [
     "load_trace",
     "merge_traces",
     "save_trace",
+    "split_trace",
 ]

@@ -233,3 +233,23 @@ def merge_traces(*traces: ArrivalTrace) -> ArrivalTrace:
         merged.arrivals.extend(trace.arrivals)
     merged.arrivals.sort(key=lambda a: a.at_us)
     return merged
+
+
+def split_trace(trace: ArrivalTrace, n: int, seed: int = 0) -> List[ArrivalTrace]:
+    """Shard one trace into ``n`` per-node streams, deterministically.
+
+    Each arrival is assigned to a shard by a seeded RNG (uniform,
+    memoryless — splitting a Poisson stream this way yields ``n``
+    thinned Poisson streams); within a shard, arrivals keep their time
+    order. The split is a partition: :func:`merge_traces` over the
+    shards reproduces the original trace exactly (same arrivals, same
+    times), and the same ``(trace, n, seed)`` always produces the same
+    shards — the property ``tests/serving/test_loadgen.py`` pins down.
+    """
+    if n < 1:
+        raise ServingError(f"split_trace needs n >= 1, got {n}")
+    rng = random.Random(seed)
+    shards = [ArrivalTrace() for _ in range(n)]
+    for a in trace.sorted():
+        shards[rng.randrange(n)].arrivals.append(a)
+    return shards

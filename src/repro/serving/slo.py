@@ -4,7 +4,7 @@ deadline misses, shed counts.
 The :class:`SLOTracker` is the serving layer's single sink: the server
 reports every request outcome here, and the tracker both keeps exact
 per-tenant samples (for the report's interpolated percentiles, via the
-shared :func:`repro.metrics.percentile`) and mirrors the events into the
+shared :func:`repro.metrics.percentiles`) and mirrors the events into the
 :mod:`repro.obs` metrics registry when a hub is attached:
 
 * ``flep_serving_requests_total{tenant,outcome}`` — counter; outcome is
@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import ServingError
-from ..metrics.stats import percentile
+from ..metrics.stats import percentiles
 from ..obs.recorder import NULL_OBS, Observability
 from .tenants import TenantSet
 
@@ -271,9 +271,7 @@ class SLOTracker:
             row.delayed = sum(1 for r in logs if r.delayed)
             row.deadline_misses = sum(1 for r in logs if r.deadline_missed)
             if latencies:
-                row.p50_us = percentile(latencies, 50.0)
-                row.p95_us = percentile(latencies, 95.0)
-                row.p99_us = percentile(latencies, 99.0)
+                row.p50_us, row.p95_us, row.p99_us = percentiles(latencies)
                 row.mean_us = sum(latencies) / len(latencies)
             if tenant.slo_us is not None and logs:
                 good = sum(1 for r in logs if r.slo_met)

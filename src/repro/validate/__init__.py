@@ -28,6 +28,11 @@ Three layers, each usable on its own:
 """
 
 from ..errors import InvariantViolation, OracleMismatch, ValidationError
+from .fleet import (
+    FleetConformanceMonitor,
+    FleetMonitorBundle,
+    install_fleet_monitor,
+)
 from .fuzz import (
     FuzzCase,
     FuzzFailure,
@@ -77,6 +82,10 @@ __all__ = [
     "FFSShareMonitor",
     "install_monitors",
     "install_invariant_checker",
+    # fleet
+    "FleetConformanceMonitor",
+    "FleetMonitorBundle",
+    "install_fleet_monitor",
     # oracles
     "DifferentialReport",
     "temporal_differential",

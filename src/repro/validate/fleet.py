@@ -1,0 +1,167 @@
+"""Fleet-level conformance: steal safety and request conservation.
+
+The :class:`FleetConformanceMonitor` is a
+:class:`~repro.fleet.dispatcher.FleetHook` — it watches the dispatcher's
+own event stream instead of a simulator trace (fleet invariants live
+above any single node's event loop). It enforces:
+
+* **steal safety** — a migrated request was never dispatched into a
+  backend runtime without having completed there first, and it left in
+  the ``routed`` (post-``take``) state. The node's ``take`` API already
+  refuses non-queued requests; this monitor re-derives the same fact
+  from the dispatch/resolve history, so a bug in the node's state
+  machine cannot silently excuse itself.
+* **single dispatch** — a request enters a backend at most once (a
+  steal after dispatch would double-run the kernel);
+* **single resolution** — exactly one terminal event per request;
+* **conservation** (at finalize) — every routed request resolved: no
+  request is still queued, held, or inflight after the fleet drained
+  with no horizon cut (``full_drain=False`` skips this for bounded
+  ``run(until=...)`` windows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import InvariantViolation
+from ..fleet.dispatcher import FleetHook
+
+
+class FleetConformanceMonitor(FleetHook):
+    """Online checker for the dispatcher/steal contract."""
+
+    name = "fleet-conformance"
+
+    def __init__(self, full_drain: bool = True):
+        self.full_drain = full_drain
+        self._routed: Set[int] = set()
+        #: req_id -> node it was dispatched on (backend owns it)
+        self._dispatched: Dict[int, int] = {}
+        self._resolved: Dict[int, str] = {}
+        self.steals_seen = 0
+
+    def fail(self, message: str, **context) -> None:
+        raise InvariantViolation(message, monitor=self.name, **context)
+
+    # ------------------------------------------------------------------
+    def on_route(self, req, node: int) -> None:
+        self._routed.add(req.req_id)
+
+    def on_steal(self, req, src: int, dst: int) -> None:
+        self.steals_seen += 1
+        if req.req_id in self._dispatched and req.req_id not in self._resolved:
+            self.fail(
+                "a dispatched (running) request was migrated",
+                req=req.req_id, src=src, dst=dst,
+                dispatched_on=self._dispatched[req.req_id],
+            )
+        if req.req_id in self._resolved:
+            self.fail(
+                "a resolved request was migrated",
+                req=req.req_id, src=src, dst=dst,
+                outcome=self._resolved[req.req_id],
+            )
+        if req.state != "routed":
+            self.fail(
+                "stolen request left its source in a non-routed state",
+                req=req.req_id, state=req.state, src=src, dst=dst,
+            )
+        if src == dst:
+            self.fail("steal with src == dst", req=req.req_id, node=src)
+
+    def on_dispatch(self, req, node: int) -> None:
+        if req.req_id in self._dispatched:
+            self.fail(
+                "request dispatched twice",
+                req=req.req_id, first=self._dispatched[req.req_id],
+                again=node,
+            )
+        if req.req_id in self._resolved:
+            self.fail(
+                "resolved request dispatched",
+                req=req.req_id, outcome=self._resolved[req.req_id],
+            )
+        self._dispatched[req.req_id] = node
+
+    def on_resolve(self, req, node: int) -> None:
+        if req.req_id in self._resolved:
+            self.fail(
+                "request resolved twice",
+                req=req.req_id, first=self._resolved[req.req_id],
+                again=req.state,
+            )
+        self._resolved[req.req_id] = req.state
+
+    def finalize(self, fleet) -> None:
+        if not self.full_drain:
+            return
+        for node in fleet.nodes:
+            if node.inflight:
+                self.fail(
+                    "requests still inflight after the fleet drained",
+                    node=node.index, inflight=sorted(node.inflight),
+                )
+        unresolved = self._routed - set(self._resolved)
+        if unresolved:
+            self.fail(
+                "routed requests never resolved (work lost)",
+                count=len(unresolved),
+                sample=sorted(unresolved)[:5],
+            )
+        for node in fleet.nodes:
+            if node.queue:
+                self.fail(
+                    "requests still queued after the fleet drained",
+                    node=node.index, queued=len(node.queue),
+                )
+
+
+def install_fleet_monitor(fleet, full_drain: bool = True):
+    """Attach a :class:`FleetConformanceMonitor` to a fleet's hook list
+    (before ``run()``) and return it."""
+    monitor = FleetConformanceMonitor(full_drain=full_drain)
+    fleet.hooks.append(monitor)
+    return monitor
+
+
+class FleetMonitorBundle:
+    """Every monitor a fleet run wants, installed in one call.
+
+    One node-level :class:`~repro.validate.monitors.MonitorSet` per GPU
+    (resource budgets, conservation, time monotonicity, policy
+    contracts — whatever each node's backend exposes) plus the
+    fleet-level :class:`FleetConformanceMonitor` on the dispatcher's
+    hook list. Usable as a context manager, like a ``MonitorSet``:
+    exiting without error finalizes the node sets (the fleet monitor's
+    ``finalize`` is invoked by ``FleetSystem.run`` itself).
+    """
+
+    def __init__(self, fleet, full_drain: bool = True):
+        from .monitors import install_monitors
+
+        self.fleet = fleet
+        self.node_sets = [install_monitors(n.backend) for n in fleet.nodes]
+        self.fleet_monitor = install_fleet_monitor(fleet, full_drain)
+
+    def finalize(self) -> None:
+        """Run every node set's end-of-run checks (call after ``run``)."""
+        for ms in self.node_sets:
+            ms.finalize()
+
+    def uninstall(self) -> None:
+        for ms in self.node_sets:
+            ms.uninstall()
+        if self.fleet_monitor in self.fleet.hooks:
+            self.fleet.hooks.remove(self.fleet_monitor)
+
+    def __enter__(self) -> "FleetMonitorBundle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()
+        if exc_type is None:
+            self.finalize()
+
+    def __iter__(self):
+        return iter(self.node_sets)

@@ -564,7 +564,11 @@ def install_monitors(target, monitors: Optional[List[Monitor]] = None,
     :class:`~repro.runtime.engine.FlepRuntime`, a
     :class:`~repro.gpu.gpu.SimulatedGPU`, a baseline
     :class:`~repro.baselines.mps_corun.MPSCoRun` /
-    :class:`~repro.serving.server.ServingSystem`, or a bare
+    :class:`~repro.serving.server.ServingSystem`, a multi-GPU
+    :class:`~repro.fleet.dispatcher.FleetSystem` (returns a
+    :class:`~repro.validate.fleet.FleetMonitorBundle`: per-node monitor
+    sets plus the fleet conformance hook; ``require_complete`` doubles
+    as its full-drain conservation check), or a bare
     :class:`~repro.gpu.sim.Simulator`. The default monitor set adapts to
     what the target exposes (device-level checks need a GPU, policy
     contracts need a runtime). ``spec`` overrides the budget spec of the
@@ -574,6 +578,12 @@ def install_monitors(target, monitors: Optional[List[Monitor]] = None,
     Call ``set.finalize()`` (or use it as a context manager) after the
     run to execute end-of-run checks.
     """
+    if hasattr(target, "nodes") and hasattr(target, "hooks"):
+        # FleetSystem: one MonitorSet per node backend plus the
+        # fleet-level conformance hook (steal safety, conservation).
+        from .fleet import FleetMonitorBundle
+
+        return FleetMonitorBundle(target, full_drain=require_complete)
     sim = getattr(target, "sim", None)
     if isinstance(target, Simulator):
         sim, gpu, runtime, policy = target, None, None, None

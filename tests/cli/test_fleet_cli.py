@@ -1,0 +1,58 @@
+"""`flep fleet` CLI tests, driven in process."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--gpus", "2", "--modes", "flep-temporal,mps", "--tenants", "3",
+        "--rate", "0.5", "--duration", "10", "--seed", "3"]
+
+
+class TestFleetCommand:
+    def test_json_rollup_schema(self, capsys):
+        assert main(["fleet", *FAST, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "flep-fleet/1"
+        assert doc["config"]["gpus"] == 2
+        assert doc["config"]["node_modes"] == ["flep-temporal", "mps"]
+        assert doc["config"]["routing"] == "deadline"
+        assert doc["config"]["steal"] is True
+        assert doc["n_nodes"] == 2 and len(doc["nodes"]) == 2
+        assert {n["mode"] for n in doc["nodes"]} == {"flep-temporal", "mps"}
+        assert "fleet_attainment" in doc
+        assert doc["serving"]["tenants"]
+
+    def test_text_report(self, capsys):
+        assert main(["fleet", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 nodes" in out
+        assert "routing=deadline" in out
+        assert "web0" in out and "batch2" in out
+
+    def test_mode_list_cycles_to_gpu_count(self, capsys):
+        assert main(["fleet", "--gpus", "3", "--modes", "flep-spatial,mps",
+                     "--tenants", "3", "--rate", "0.3", "--duration", "5",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["node_modes"] == [
+            "flep-spatial", "mps", "flep-spatial",
+        ]
+
+    def test_no_steal_flag(self, capsys):
+        assert main(["fleet", *FAST, "--no-steal", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["steal"] is False
+        assert doc["steals"] == 0
+
+    def test_same_seed_same_json(self, capsys):
+        def run_once():
+            assert main(["fleet", *FAST, "--json"]) == 0
+            return capsys.readouterr().out
+
+        assert run_once() == run_once()
+
+    def test_unknown_routing_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", *FAST, "--routing", "random"])

@@ -1,0 +1,49 @@
+"""Reduced-size run of the multi-GPU fleet sweep experiment."""
+
+import json
+
+from repro.experiments import EXPERIMENTS, fleet
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "fleet" in EXPERIMENTS
+        assert EXPERIMENTS["fleet"] is fleet
+        assert callable(fleet.run)
+
+    def test_tenant_mix(self):
+        tenants = fleet.fleet_tenants()
+        priorities = sorted(t.priority for t in tenants)
+        assert priorities == [0, 0, 1, 1, 2, 2, 2, 2]
+        webs = [t for t in tenants if t.priority == 2]
+        assert all(t.slo_us == fleet.WEB_SLO_US for t in webs)
+
+
+class TestSmallSweep:
+    def test_shape_and_headline(self, suite):
+        report = fleet.run(device=suite.device, scale=0.01)
+        # 2 fleets x 2 routings x 3 web rates
+        assert len(report.rows) == 12
+        for row in report.rows:
+            assert row["fleet"] in ("homog-mps", "het-flep")
+            assert row["routing"] in ("round-robin", "deadline")
+            assert row["requests"] > 0
+            assert 0.0 <= row["attainment"] <= 1.0
+        for key in ("attainment_peak_het_flep_deadline",
+                    "attainment_peak_homog_mps_round_robin",
+                    "het_minus_homog_attainment_at_peak",
+                    "deadline_minus_rr_attainment_at_peak_het",
+                    "peak_invocations"):
+            assert key in report.headline, key
+        assert report.notes
+
+    def test_fleet_once_deterministic(self, suite):
+        def doc():
+            rollup = fleet.fleet_once(
+                node_modes=("flep-temporal", "mps"),
+                routing="deadline", web_rate_per_ms=1.0, duration_ms=20.0,
+                device=suite.device,
+            )
+            return json.dumps(rollup.as_dict(), sort_keys=True, default=str)
+
+        assert doc() == doc()

@@ -1,0 +1,145 @@
+"""Routing-policy contract tests: every stock router, on fake nodes."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import (
+    DeadlineAwareRouter,
+    LeastLoadedRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    TenantAffinityRouter,
+    make_router,
+)
+from repro.fleet.node import NodeRequest
+from repro.serving import Tenant
+
+
+class FakeNode:
+    """Just the read-only load-introspection surface routers may touch."""
+
+    def __init__(self, load=0.0, backlog=None):
+        self._load = float(load)
+        self._backlog = float(backlog if backlog is not None else load)
+        self.queue_len = 0
+
+    def load_us(self):
+        return self._load
+
+    def backlog_for(self, priority):
+        return self._backlog
+
+
+def req(tenant="web", priority=1, slo=None, deadline=None, predicted=100.0):
+    t = Tenant(tenant, priority=priority, slo_us=slo)
+    return NodeRequest(
+        req_id=1, tenant=t, kernel="SPMV", input_name="trivial",
+        arrived_us=0.0, predicted_us=predicted, deadline_us=deadline,
+    )
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert set(ROUTERS) == {
+            "round-robin", "least-loaded", "deadline", "affinity",
+        }
+
+    def test_make_router_unknown_raises(self):
+        with pytest.raises(FleetError, match="unknown routing policy"):
+            make_router("random")
+
+    def test_make_router_kwargs(self):
+        r = make_router("affinity", spill_factor=3.0)
+        assert r.spill_factor == 3.0
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        r = RoundRobinRouter()
+        nodes = [FakeNode(), FakeNode(), FakeNode()]
+        picks = [r.choose(req(), nodes, 0.0) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_state_blind(self):
+        r = RoundRobinRouter()
+        nodes = [FakeNode(load=1e9), FakeNode(load=0.0)]
+        assert r.choose(req(), nodes, 0.0) == 0
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_load(self):
+        r = LeastLoadedRouter()
+        nodes = [FakeNode(300.0), FakeNode(100.0), FakeNode(200.0)]
+        assert r.choose(req(), nodes, 0.0) == 1
+
+    def test_ties_break_lowest_index(self):
+        r = LeastLoadedRouter()
+        nodes = [FakeNode(100.0), FakeNode(100.0), FakeNode(100.0)]
+        assert r.choose(req(), nodes, 0.0) == 0
+
+
+class TestDeadlineAware:
+    def test_prefers_deadline_meeting_node(self):
+        # node 0 finishes earlier but misses; node 1 meets the deadline
+        r = DeadlineAwareRouter()
+        nodes = [FakeNode(backlog=5_000.0), FakeNode(backlog=400.0)]
+        request = req(deadline=1_000.0, predicted=100.0)
+        assert r.choose(request, nodes, now=0.0) == 1
+
+    def test_earliest_finish_among_meeting_nodes(self):
+        r = DeadlineAwareRouter()
+        nodes = [FakeNode(backlog=800.0), FakeNode(backlog=200.0)]
+        assert r.choose(req(deadline=5_000.0), nodes, 0.0) == 1
+
+    def test_all_missing_picks_least_bad(self):
+        r = DeadlineAwareRouter()
+        nodes = [FakeNode(backlog=9_000.0), FakeNode(backlog=7_000.0)]
+        assert r.choose(req(deadline=100.0), nodes, 0.0) == 1
+
+    def test_no_deadline_falls_back_to_least_loaded(self):
+        r = DeadlineAwareRouter()
+        nodes = [FakeNode(load=500.0, backlog=0.0),
+                 FakeNode(load=100.0, backlog=9_999.0)]
+        assert r.choose(req(deadline=None), nodes, 0.0) == 1
+
+
+class TestAffinity:
+    def test_preferred_node_is_stable(self):
+        a = TenantAffinityRouter.preferred_node("web0", 4)
+        assert a == TenantAffinityRouter.preferred_node("web0", 4)
+        assert 0 <= a < 4
+
+    def test_pins_to_preferred_when_cool(self):
+        r = TenantAffinityRouter()
+        nodes = [FakeNode(100.0) for _ in range(4)]
+        request = req(tenant="analytics0")
+        pref = TenantAffinityRouter.preferred_node("analytics0", 4)
+        assert r.choose(request, nodes, 0.0) == pref
+
+    def test_spills_when_preferred_is_hot(self):
+        request = req(tenant="web0")
+        pref = TenantAffinityRouter.preferred_node("web0", 2)
+        nodes = [FakeNode(0.0), FakeNode(0.0)]
+        nodes[pref]._load = 1e7          # way past spill_factor*mean+slack
+        r = TenantAffinityRouter(spill_factor=1.0, slack_us=0.0)
+        assert r.choose(request, nodes, 0.0) == 1 - pref
+
+    def test_validates_parameters(self):
+        with pytest.raises(FleetError):
+            TenantAffinityRouter(spill_factor=0.5)
+        with pytest.raises(FleetError):
+            TenantAffinityRouter(slack_us=-1.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_same_sequence_same_picks(self, name):
+        nodes = [FakeNode(i * 100.0) for i in range(3)]
+        reqs = [req(tenant=f"t{i}", deadline=2_000.0) for i in range(6)]
+
+        def picks():
+            r = make_router(name)
+            return [r.choose(q, nodes, 10.0 * i)
+                    for i, q in enumerate(reqs)]
+
+        assert picks() == picks()

@@ -107,7 +107,8 @@ class TestRunBench:
 
     def test_real_scenario_table_is_complete(self):
         assert set(SCENARIOS) == {
-            "serving_sweep", "fig8_mix", "preempt_storm", "fuzz_stress"
+            "serving_sweep", "fig8_mix", "preempt_storm", "fuzz_stress",
+            "fleet_sweep",
         }
         assert set(BUDGETS) == {"small", "default", "large"}
 

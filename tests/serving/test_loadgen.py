@@ -2,6 +2,8 @@
 
 import pytest
 
+from hypothesis import given, strategies as st
+
 from repro.errors import ServingError
 from repro.serving import (
     ClosedLoopClient,
@@ -11,6 +13,7 @@ from repro.serving import (
     load_trace,
     merge_traces,
     save_trace,
+    split_trace,
 )
 
 
@@ -144,3 +147,49 @@ class TestMergeAndClosedLoop:
     def test_closed_loop_validation(self, kwargs):
         with pytest.raises(ServingError):
             ClosedLoopClient("t", "SPMV", **kwargs)
+
+
+def _key(a):
+    return (a.at_us, a.kernel_name, a.input_name, a.priority, a.tenant)
+
+
+class TestSplitTrace:
+    @given(seed=st.integers(0, 2**20), n=st.integers(1, 8),
+           gen_seed=st.integers(0, 50))
+    def test_split_is_a_partition(self, seed, n, gen_seed):
+        """Merging the shards reproduces the original trace exactly."""
+        trace = PoissonLoadGen("t", ["SPMV", "MM"], 1.0, 15.0,
+                               seed=gen_seed).generate()
+        shards = split_trace(trace, n, seed=seed)
+        assert len(shards) == n
+        merged = merge_traces(*shards)
+        assert list(map(_key, merged.arrivals)) == \
+            list(map(_key, trace.sorted()))
+
+    @given(seed=st.integers(0, 2**20), n=st.integers(2, 6))
+    def test_shards_preserve_time_order(self, seed, n):
+        trace = PoissonLoadGen("t", ["SPMV"], 2.0, 10.0, seed=1).generate()
+        for shard in split_trace(trace, n, seed=seed):
+            times = [a.at_us for a in shard.arrivals]
+            assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        trace = PoissonLoadGen("t", ["SPMV"], 2.0, 20.0, seed=4).generate()
+
+        def shapes(seed):
+            return [list(map(_key, s.arrivals))
+                    for s in split_trace(trace, 4, seed=seed)]
+
+        assert shapes(7) == shapes(7)
+        assert shapes(7) != shapes(8)
+
+    def test_single_shard_is_identity(self):
+        trace = PoissonLoadGen("t", ["SPMV"], 1.0, 10.0, seed=2).generate()
+        (only,) = split_trace(trace, 1)
+        assert list(map(_key, only.arrivals)) == \
+            list(map(_key, trace.sorted()))
+
+    def test_rejects_bad_shard_count(self):
+        trace = PoissonLoadGen("t", ["SPMV"], 1.0, 5.0, seed=0).generate()
+        with pytest.raises(ServingError, match="n >= 1"):
+            split_trace(trace, 0)

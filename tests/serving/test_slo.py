@@ -120,6 +120,52 @@ class TestTracker:
             report.tenant("nope")
 
 
+class TestPercentileEdgeCases:
+    """Degenerate latency populations must report cleanly, not crash."""
+
+    def test_tenant_with_zero_requests_still_has_a_row(self):
+        tracker = SLOTracker(tenants())
+        tracker.open_request(1, "batch", 0.0, "VA", "large", 0.0)
+        tracker.mark_completed(1, 100.0)
+        row = tracker.report(horizon_us=1e6).tenant("q")   # untouched tenant
+        assert row.requests == 0
+        assert row.completed == 0 and row.shed == 0
+        assert row.p50_us is None and row.p95_us is None and row.p99_us is None
+        assert row.mean_us is None
+        assert row.attainment is None       # 0/0 is "no data", not 0%
+        assert row.goodput_rps == pytest.approx(0.0)
+
+    def test_single_sample_percentiles_collapse(self):
+        tracker = SLOTracker(tenants())
+        tracker.open_request(1, "q", 0.0, "SPMV", "small", 0.0)
+        tracker.mark_completed(1, 640.0)
+        row = tracker.report(horizon_us=1e6).tenant("q")
+        assert row.p50_us == pytest.approx(640.0)
+        assert row.p95_us == pytest.approx(640.0)
+        assert row.p99_us == pytest.approx(640.0)
+        assert row.mean_us == pytest.approx(640.0)
+        assert row.attainment == pytest.approx(1.0)
+
+    def test_all_shed_tenant(self):
+        tracker = SLOTracker(tenants())
+        for req_id in (1, 2, 3):
+            tracker.open_request(req_id, "q", 0.0, "SPMV", "small", 0.0)
+            tracker.mark_shed(req_id)
+        row = tracker.report(horizon_us=1e6).tenant("q")
+        assert row.requests == 3
+        assert row.completed == 0 and row.shed == 3
+        assert row.p50_us is None           # no latencies to rank
+        assert row.attainment == pytest.approx(0.0)   # sheds are misses
+        assert row.goodput_rps == pytest.approx(0.0)
+
+    def test_empty_report_formats_and_serializes(self):
+        report = SLOTracker(tenants()).report(horizon_us=1_000.0)
+        text = report.format()
+        assert "batch" in text and "q" in text
+        data = report.as_dict()
+        assert all(t["p50_us"] is None for t in data["tenants"])
+
+
 class TestObsMirror:
     def test_metrics_registered_and_counted(self):
         hub = Observability()

@@ -250,7 +250,7 @@ def _build_fleet_tenants(n: int, slo_us: float):
 def _cmd_fleet(args) -> int:
     import json as _json
 
-    from .fleet import FleetConfig, FleetSystem
+    from .fleet import FleetConfig, FleetSystem, parse_fault_spec, random_plan
     from .serving import PoissonLoadGen
     from .validate import install_monitors
 
@@ -259,11 +259,27 @@ def _cmd_fleet(args) -> int:
         modes = ["flep-spatial"]
     # cycle the mode list out to --gpus entries
     node_modes = [modes[i % len(modes)] for i in range(args.gpus)]
+    node_devices = None
+    if args.devices:
+        specs = [d.strip() for d in args.devices.split(",") if d.strip()]
+        node_devices = [specs[i % len(specs)] for i in range(args.gpus)]
+    if args.faults and args.fault_seed is not None:
+        print("--faults and --fault-seed are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    faults = None
+    if args.faults:
+        faults = parse_fault_spec(args.faults)
+    elif args.fault_seed is not None:
+        faults = random_plan(
+            args.fault_seed, args.gpus, args.duration * 1000.0,
+        )
     tenants = _build_fleet_tenants(args.tenants, args.slo)
     fleet = FleetSystem(
         tenants,
         FleetConfig(
             node_modes=node_modes,
+            node_devices=node_devices,
             routing=args.routing,
             policy=args.policy,
             seed=args.seed,
@@ -271,6 +287,8 @@ def _cmd_fleet(args) -> int:
             steal=not args.no_steal,
             steal_interval_us=args.steal_interval,
             steal_threshold_us=args.steal_threshold,
+            faults=faults,
+            queue=args.queue,
         ),
     )
     bundle = install_monitors(fleet, require_complete=True)
@@ -293,6 +311,7 @@ def _cmd_fleet(args) -> int:
             "config": {
                 "gpus": args.gpus,
                 "node_modes": node_modes,
+                "node_devices": node_devices,
                 "routing": args.routing,
                 "policy": args.policy,
                 "tenants": args.tenants,
@@ -300,6 +319,9 @@ def _cmd_fleet(args) -> int:
                 "duration_ms": args.duration,
                 "seed": args.seed,
                 "steal": not args.no_steal,
+                "queue": args.queue,
+                "faults": faults.describe() if faults else None,
+                "fault_seed": args.fault_seed,
             },
             **report.as_dict(),
         }, indent=2, default=str))
@@ -397,15 +419,16 @@ def _cmd_fuzz(args) -> int:
         return 1
 
     started = time.time()
+    total = args.budget + args.fleet_budget
 
     def progress(i, result):
         if (i + 1) % 50 == 0:
-            print(f"  ... {i + 1}/{args.budget} cases, "
+            print(f"  ... {i + 1}/{total} cases, "
                   f"{time.time() - started:.1f}s", file=sys.stderr)
 
     report = fuzz(
         budget=args.budget, seed=args.seed, plant=args.plant,
-        on_progress=progress,
+        on_progress=progress, fleet_budget=args.fleet_budget,
     )
     print(report.format())
     print(f"[{report.cases_run} cases in {time.time() - started:.1f}s]")
@@ -578,6 +601,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="µs between rebalance ticks (default 500)")
     fleet_p.add_argument("--steal-threshold", type=float, default=200.0,
                          help="µs load gap before stealing (default 200)")
+    fleet_p.add_argument("--devices", default=None,
+                         help="comma list of device specs cycled out to "
+                              "--gpus, e.g. k40,p100 or p100@40 "
+                              "(default: every node a K40)")
+    fleet_p.add_argument("--faults", default=None, metavar="SPEC",
+                         help="inject faults: comma-separated "
+                              "kind@TIME:nNODE[+EXTRA], e.g. "
+                              "'crash@5000:n0,rejoin@9000:n0,"
+                              "drain@2000:n1+3000'")
+    fleet_p.add_argument("--fault-seed", type=int, default=None,
+                         help="derive a random (but reproducible) fault "
+                              "plan from this seed instead of --faults")
+    fleet_p.add_argument("--queue", default="heap",
+                         choices=["heap", "calendar"],
+                         help="event-queue engine for every node's "
+                              "simulator (default heap)")
     fleet_p.add_argument("--json", action="store_true",
                          help="emit the flep-fleet/1 JSON rollup")
     fleet_p.set_defaults(fn=_cmd_fleet)
@@ -606,11 +645,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_p.add_argument("--budget", type=int, default=200,
                         help="number of generated cases (default: 200)")
+    fuzz_p.add_argument("--fleet-budget", type=int, default=0,
+                        help="additionally run this many multi-node fleet "
+                             "cases (routing + stealing + faults under the "
+                             "fleet monitors; default: 0)")
     fuzz_p.add_argument("--seed", type=int, default=0,
                         help="base seed; case i uses seed+i")
     fuzz_p.add_argument("--replay", default=None, metavar="TOKEN",
                         help="re-run one minimal reproducer (an integer "
-                             "seed or a 'c...' token printed on failure)")
+                             "seed or a 'c...'/'f...' token printed on "
+                             "failure)")
     fuzz_p.add_argument("--plant", default=None,
                         choices=["sm-budget-off-by-one"],
                         help="deliberately plant a violation "

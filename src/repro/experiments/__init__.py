@@ -3,6 +3,7 @@ evaluation (see DESIGN.md §5 for the index)."""
 
 from . import (
     ablations,
+    degradation,
     ffs3,
     fig1,
     fig2,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "variance": variance,
     "serving": serving,
     "fleet": fleet,
+    "degradation": degradation,
 }
 
 __all__ = [

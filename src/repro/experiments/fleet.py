@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..fleet import FleetConfig, FleetSystem
+from ..fleet import FaultPlan, FleetConfig, FleetSystem
 from ..fleet.rollup import FleetReport
 from ..gpu.device import GPUDeviceSpec
 from ..serving import PoissonLoadGen, Tenant, TenantSet
@@ -83,12 +83,16 @@ def fleet_once(
     duration_ms: float,
     seed: int = SEED,
     device: Optional[GPUDeviceSpec] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> FleetReport:
     """One sweep cell: build the fleet, offer the load, roll up."""
     tenants = fleet_tenants()
     fleet = FleetSystem(
         tenants,
-        FleetConfig(node_modes=tuple(node_modes), routing=routing, seed=seed),
+        FleetConfig(
+            node_modes=tuple(node_modes), routing=routing, seed=seed,
+            faults=faults,
+        ),
         device=device,
     )
     for i, tenant in enumerate(tenants):

@@ -1,19 +1,33 @@
-"""Multi-GPU fleet: cluster dispatcher, routing, work stealing, rollups.
+"""Multi-GPU fleet: cluster dispatcher, routing, work stealing, faults.
 
 The fleet layer scales the single-GPU serving stack out to N
 independently-clocked simulated GPUs behind one front door:
 
 * :mod:`.node` — one GPU wrapped in a per-node FLEP/MPS runtime and a
-  stealable queue;
+  stealable queue, with a fault lifecycle (up / stalled / draining /
+  drained / down);
 * :mod:`.routing` — pluggable dispatch policies (round-robin,
   least-loaded, deadline-aware, tenant-affinity with spill);
 * :mod:`.dispatcher` — the :class:`FleetSystem` facade: conservative
   co-simulation of all node clocks, front-door rate limiting, the
-  work-stealing rebalancer, ``flep_fleet_*`` metrics;
-* :mod:`.rollup` — fleet/per-node reports and Chrome-trace export.
+  work-stealing rebalancer, fault injection with live re-routing,
+  ``flep_fleet_*`` metrics;
+* :mod:`.faults` — deterministic seeded :class:`FaultPlan` (crash,
+  drain, stall, rejoin) replayed as co-simulation control points;
+* :mod:`.rollup` — fleet/per-node reports (with loss / re-route /
+  drain-shed attribution and a conservation ledger) and Chrome-trace
+  export.
 """
 
 from .dispatcher import FleetConfig, FleetHook, FleetSystem, WorkStealer
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    expand_plan,
+    parse_fault_spec,
+    random_plan,
+)
 from .node import FleetNode, NodeConfig, NodeRequest, NodeStats
 from .rollup import FleetReport, NodeReport, build_report
 from .routing import (
@@ -27,6 +41,9 @@ from .routing import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
     "FleetConfig",
     "FleetHook",
     "FleetNode",
@@ -44,5 +61,8 @@ __all__ = [
     "TenantAffinityRouter",
     "WorkStealer",
     "build_report",
+    "expand_plan",
     "make_router",
+    "parse_fault_spec",
+    "random_plan",
 ]

@@ -1,0 +1,363 @@
+"""Deterministic fault injection for the fleet co-simulation.
+
+A :class:`FaultPlan` is an ordered, validated list of
+:class:`FaultEvent`\\ s — node crashes, planned drains with a deadline,
+transient stalls, and later rejoins — that the cluster dispatcher
+replays as additional **control points** of its conservative
+co-simulation. Faults therefore compose with arrivals and steal ticks
+without breaking determinism: the same seed plus the same plan always
+yields a bit-identical rollup.
+
+Fault semantics (DESIGN.md §14 states the full invariants):
+
+* ``crash`` — the node dies instantly at ``at_us``. Requests still in
+  its (stealable) queue or held by admission delay are **reclaimed**
+  and live re-routed through the active routing policy; requests
+  already dispatched into the backend runtime are **lost** (the GPU's
+  kernel state died with it) and accounted as terminal SLO misses.
+* ``drain`` — planned decommission: from ``at_us`` the node is fenced
+  from new routing (and from receiving steals) but keeps dispatching
+  its own queue; at ``at_us + deadline_us`` whatever is still queued or
+  held is shed with cause ``drain`` (**drain-shed**), while in-flight
+  work is always allowed to finish.
+* ``stall`` — transient hiccup: for ``duration_us`` the node stops
+  dispatching queued work into its backend (in-flight work keeps
+  running, the queue keeps accepting). Routing still sees the node —
+  its growing backlog is exactly what load-aware policies should route
+  around, and what the work stealer migrates away.
+* ``rejoin`` — a previously crashed node returns at ``at_us`` with a
+  fresh backend runtime (empty queue, clock aligned to fleet time) and
+  becomes routable again.
+
+Plans come from three places: hand-written specs
+(:func:`parse_fault_spec`, the CLI ``--faults`` grammar), seeded random
+generation (:func:`random_plan`, the CLI ``--fault-seed``), or directly
+constructed events (tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import FleetError
+
+#: The fault vocabulary, in the order specs document them.
+FAULT_KINDS = ("crash", "drain", "stall", "rejoin")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: ``kind`` hits ``node`` at fleet time ``at_us``.
+
+    ``deadline_us`` (drain only) is the fence-to-shed grace window;
+    ``duration_us`` (stall only) is how long dispatch stays frozen.
+    """
+
+    kind: str
+    node: int
+    at_us: float
+    deadline_us: Optional[float] = None
+    duration_us: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FleetError(
+                f"unknown fault kind {self.kind!r} (have {FAULT_KINDS})"
+            )
+        if self.node < 0:
+            raise FleetError(f"fault names negative node {self.node}")
+        if self.at_us < 0:
+            raise FleetError(f"fault at negative time {self.at_us}")
+        if self.kind == "drain":
+            if self.deadline_us is None or self.deadline_us <= 0:
+                raise FleetError("drain needs a positive deadline_us")
+        elif self.deadline_us is not None:
+            raise FleetError(f"{self.kind} takes no deadline_us")
+        if self.kind == "stall":
+            if self.duration_us is None or self.duration_us <= 0:
+                raise FleetError("stall needs a positive duration_us")
+        elif self.duration_us is not None:
+            raise FleetError(f"{self.kind} takes no duration_us")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind == "drain":
+            extra = f"+{self.deadline_us:.0f}"
+        elif self.kind == "stall":
+            extra = f"+{self.duration_us:.0f}"
+        return f"{self.kind}@{self.at_us:.0f}:n{self.node}{extra}"
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind, "node": self.node, "at_us": self.at_us,
+        }
+        if self.deadline_us is not None:
+            out["deadline_us"] = self.deadline_us
+        if self.duration_us is not None:
+            out["duration_us"] = self.duration_us
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, time-ordered set of fault events for one fleet run."""
+
+    events: tuple = ()
+
+    def __post_init__(self):
+        events = tuple(self.events)
+        object.__setattr__(self, "events", events)
+        # stable application order: time, then spec order for ties
+        order = sorted(
+            range(len(events)), key=lambda i: (events[i].at_us, i)
+        )
+        if list(order) != list(range(len(events))):
+            object.__setattr__(
+                self, "events", tuple(events[i] for i in order)
+            )
+        self._validate()
+
+    def _validate(self) -> None:
+        #: per-node coarse lifecycle so impossible sequences fail at
+        #: construction instead of mid-run: up -> (crash -> down ->
+        #: rejoin -> up)* ; drain and stall only hit live nodes; a
+        #: drained node never comes back (planned decommission).
+        state: Dict[int, str] = {}
+        for ev in self.events:
+            st = state.get(ev.node, "up")
+            if ev.kind == "crash":
+                if st != "up":
+                    raise FleetError(
+                        f"{ev.describe()}: node {ev.node} is {st}, only "
+                        "an up node can crash"
+                    )
+                state[ev.node] = "down"
+            elif ev.kind == "rejoin":
+                if st != "down":
+                    raise FleetError(
+                        f"{ev.describe()}: node {ev.node} is {st}, only "
+                        "a crashed node can rejoin"
+                    )
+                state[ev.node] = "up"
+            elif ev.kind == "drain":
+                if st != "up":
+                    raise FleetError(
+                        f"{ev.describe()}: node {ev.node} is {st}, only "
+                        "an up node can drain"
+                    )
+                state[ev.node] = "drained"
+            elif ev.kind == "stall":
+                if st != "up":
+                    raise FleetError(
+                        f"{ev.describe()}: node {ev.node} is {st}, only "
+                        "an up node can stall"
+                    )
+                # Overlapping faults on one stalled node would need a
+                # priority rule; keep plans simple: the stall must end
+                # before the node's next fault.
+                end = ev.at_us + (ev.duration_us or 0.0)
+                for later in self.events:
+                    if (
+                        later is not ev
+                        and later.node == ev.node
+                        and ev.at_us <= later.at_us < end
+                    ):
+                        raise FleetError(
+                            f"{later.describe()} lands inside "
+                            f"{ev.describe()}'s stall window"
+                        )
+
+    # ------------------------------------------------------------------
+    def check_nodes(self, n_nodes: int) -> None:
+        """Reject events naming nodes outside ``[0, n_nodes)``."""
+        for ev in self.events:
+            if ev.node >= n_nodes:
+                raise FleetError(
+                    f"{ev.describe()}: fleet has only {n_nodes} node(s)"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        return ",".join(ev.describe() for ev in self.events) or "(no faults)"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"events": [ev.as_dict() for ev in self.events]}
+
+
+# ---------------------------------------------------------------------------
+# spec grammar (the CLI's --faults)
+# ---------------------------------------------------------------------------
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the compact CLI grammar into a :class:`FaultPlan`.
+
+    Comma-separated events, each ``kind@TIME:nNODE[+EXTRA]``:
+
+    * ``crash@5000:n0`` — node 0 dies at t=5000 µs;
+    * ``drain@2000:n1+3000`` — node 1 fenced at t=2000, sheds leftovers
+      at t=5000 (EXTRA is the drain deadline in µs);
+    * ``stall@1000:n2+500`` — node 2 stops dispatching for 500 µs;
+    * ``rejoin@9000:n0`` — crashed node 0 comes back at t=9000.
+    """
+    events: List[FaultEvent] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            head, _, rest = part.partition("@")
+            time_s, _, node_s = rest.partition(":")
+            if not node_s.startswith("n"):
+                raise ValueError("node must be written nINDEX")
+            node_s = node_s[1:]
+            extra = None
+            if "+" in node_s:
+                node_s, extra_s = node_s.split("+", 1)
+                extra = float(extra_s)
+            kind = head.strip()
+            at_us = float(time_s)
+            node = int(node_s)
+        except (ValueError, IndexError) as exc:
+            raise FleetError(
+                f"bad fault spec {part!r} "
+                f"(want kind@TIME:nNODE[+EXTRA]): {exc}"
+            ) from None
+        events.append(FaultEvent(
+            kind=kind,
+            node=node,
+            at_us=at_us,
+            deadline_us=extra if kind == "drain" else None,
+            duration_us=extra if kind == "stall" else None,
+        ))
+    return FaultPlan(tuple(events))
+
+
+# ---------------------------------------------------------------------------
+# seeded random plans (chaos testing, --fault-seed)
+# ---------------------------------------------------------------------------
+def random_plan(
+    seed: int,
+    n_nodes: int,
+    horizon_us: float,
+    max_events: int = 3,
+    kinds: Sequence[str] = ("crash", "drain", "stall"),
+    rejoin: bool = True,
+    keep_one_up: bool = True,
+) -> FaultPlan:
+    """Derive a valid fault plan deterministically from ``seed``.
+
+    Picks up to ``max_events`` primary faults on distinct nodes at
+    times drawn from a coarse grid over ``(0, horizon_us)``; a crashed
+    node may later ``rejoin`` (when ``rejoin``). ``keep_one_up`` caps
+    simultaneous capacity loss so at least one node stays routable —
+    chaos tests that must observe forward progress want that; set it
+    ``False`` to explore total-outage behavior.
+    """
+    if n_nodes < 1:
+        raise FleetError("random_plan needs at least one node")
+    if horizon_us <= 0:
+        raise FleetError("random_plan needs a positive horizon")
+    rng = random.Random(seed)
+    step = max(horizon_us / 40.0, 1.0)
+    n_faults = rng.randint(0, max_events)
+    nodes = list(range(n_nodes))
+    rng.shuffle(nodes)
+    #: (primary event, paired rejoin or None) per faulted node
+    pairs: List[tuple] = []
+    for node in nodes[:n_faults]:
+        kind = rng.choice(tuple(kinds))
+        at = step * rng.randint(1, 39)
+        if at >= horizon_us:
+            at = horizon_us - 1.0
+        if kind == "crash":
+            back = None
+            if rejoin and rng.random() < 0.5:
+                back = FaultEvent(
+                    "rejoin", node, at + step * rng.randint(1, 20),
+                )
+            pairs.append((FaultEvent("crash", node, at), back))
+        elif kind == "drain":
+            pairs.append((FaultEvent(
+                "drain", node, at,
+                deadline_us=step * rng.randint(1, 10),
+            ), None))
+        else:
+            pairs.append((FaultEvent(
+                "stall", node, at,
+                duration_us=step * rng.randint(1, 10),
+            ), None))
+    if keep_one_up:
+        pairs = _cap_downtime(pairs, n_nodes)
+    events: List[FaultEvent] = []
+    for primary, back in pairs:
+        events.append(primary)
+        if back is not None:
+            events.append(back)
+    return FaultPlan(tuple(events))
+
+
+def _cap_downtime(pairs: List[tuple], n_nodes: int) -> List[tuple]:
+    """Greedy sweep (in time order) dropping any crash/drain that would
+    leave zero routable nodes at its start instant. The unroutable
+    count is a step function changing only at primary-event times, so
+    checking each candidate at its own start against the already-kept
+    set is exact: a crash is unroutable on ``[at, rejoin)``, a drain on
+    ``[at, ∞)`` (routing is fenced from the moment the drain begins)."""
+    kept: List[tuple] = []
+    for primary, back in sorted(pairs, key=lambda p: p[0].at_us):
+        if primary.kind not in ("crash", "drain"):
+            kept.append((primary, back))
+            continue
+        down = 0
+        for p2, b2 in kept:
+            if p2.kind == "drain" and p2.at_us <= primary.at_us:
+                down += 1
+            elif p2.kind == "crash" and p2.at_us <= primary.at_us and (
+                b2 is None or b2.at_us > primary.at_us
+            ):
+                down += 1
+        if down + 1 >= n_nodes:
+            continue  # dropping keeps at least one node routable
+        kept.append((primary, back))
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# dispatcher-side expansion
+# ---------------------------------------------------------------------------
+#: Internal control-point actions a plan expands to. ``drain`` expands
+#: to ``drain`` (fence) + ``drain-deadline`` (shed leftovers); ``stall``
+#: to ``stall`` + ``unstall``; the rest map one-to-one.
+@dataclass(frozen=True)
+class FaultAction:
+    at_us: float
+    kind: str
+    node: int
+    event: FaultEvent = field(compare=False)
+
+
+def expand_plan(plan: FaultPlan) -> List[FaultAction]:
+    """Flatten a plan into the time-ordered action list the dispatcher
+    walks: every action is one control point of the co-simulation."""
+    actions: List[FaultAction] = []
+    for ev in plan:
+        actions.append(FaultAction(ev.at_us, ev.kind, ev.node, ev))
+        if ev.kind == "drain":
+            actions.append(FaultAction(
+                ev.at_us + ev.deadline_us, "drain-deadline", ev.node, ev,
+            ))
+        elif ev.kind == "stall":
+            actions.append(FaultAction(
+                ev.at_us + ev.duration_us, "unstall", ev.node, ev,
+            ))
+    actions.sort(key=lambda a: (a.at_us, plan.events.index(a.event)))
+    return actions

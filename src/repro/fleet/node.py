@@ -6,42 +6,64 @@ A :class:`FleetNode` wraps one per-GPU runtime — a
 FLEP) or a plain :class:`~repro.baselines.mps_corun.MPSCoRun` — behind
 a small queue manager: routed requests wait in an explicit node queue,
 and at most ``max_inflight`` of them are dispatched into the backend
-runtime at a time. That split is what makes work stealing safe and
-cheap: only requests still in the node queue (state ``queued``) are
-ever migrated; a request handed to the backend (state ``dispatched``)
-belongs to that GPU until it completes.
+runtime at a time — except that on preemption-capable (FLEP) nodes a
+queued request always bypasses a window full of strictly
+lower-priority work, because the backend can preempt that work out of
+its way (convoying it at the dispatch layer would silently undo the
+preemption the backend exists to provide). That split is what makes
+work stealing safe and cheap: only requests still in the node queue
+(state ``queued``) are ever migrated; a request handed to the backend
+(state ``dispatched``) belongs to that GPU until it completes.
 
 Each node owns its **own simulator clock**. The cluster dispatcher
-aligns the clocks at control points (arrivals, steal ticks) by calling
-:meth:`FleetNode.advance`; between control points nodes evolve
-independently, which is sound because nothing couples two GPUs except
-dispatch-time routing and queue-level stealing.
+aligns the clocks at control points (arrivals, steal ticks, fault
+events) by calling :meth:`FleetNode.advance`; between control points
+nodes evolve independently, which is sound because nothing couples two
+GPUs except dispatch-time routing and queue-level stealing.
+
+**Node lifecycle** (fault injection, DESIGN.md §14)::
+
+    up ──crash──▶ down ──rejoin──▶ up (fresh backend)
+    up ──stall──▶ stalled ──unstall──▶ up
+    up ──drain──▶ draining ──deadline──▶ drained
+
+``up`` and ``stalled`` nodes are *routable*; ``draining`` nodes are
+fenced (no new routing, no steals in) but keep dispatching their own
+queue until the drain deadline; ``drained`` and ``down`` nodes hold no
+work. Only ``down`` nodes stop advancing their clock — a crash freezes
+the simulator so the in-flight kernels it was running can never
+complete (they are accounted ``lost``).
 
 Per-node SLO accounting reuses the serving layer unchanged: the node
 runs its requests through a (fleet-shared) SLO tracker and an
 :class:`~repro.serving.admission.AdmissionController` built over the
 same tenant set — admission budgets against *this node's* backlog, so
-an overloaded node sheds while an idle one accepts.
+an overloaded node sheds while an idle one accepts. Admission-delayed
+(``held``) requests count toward the backlog the routing policies and
+the work stealer observe: delayed work is still committed work.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
-from ..baselines.mps_corun import MPSCoRun
-from ..core.flep import FlepSystem
 from ..errors import FleetError
-from ..runtime.engine import RuntimeConfig
 from ..serving.admission import AdmissionController, Decision
 from ..serving.server import MODES
 from ..serving.slo import SLOTracker
 from ..serving.tenants import Tenant, TenantSet
 
 #: Node-queue request lifecycle (the steal-safety invariant is stated
-#: over these): routed -> queued | held -> dispatched -> done, or shed.
-REQUEST_STATES = ("routed", "queued", "held", "dispatched", "done", "shed")
+#: over these): routed -> queued | held -> dispatched -> done, or a
+#: terminal shed (admission or drain fencing) / lost (node crash).
+REQUEST_STATES = (
+    "routed", "queued", "held", "dispatched", "done", "shed", "lost",
+)
+
+#: Node lifecycle states (see the module docstring's diagram).
+NODE_STATES = ("up", "stalled", "draining", "drained", "down")
 
 
 @dataclass
@@ -58,8 +80,13 @@ class NodeConfig:
     oracle_model: bool = False
     seed: Optional[int] = None
     #: Requests dispatched into the backend runtime at once; the rest
-    #: wait in the (stealable) node queue.
+    #: wait in the (stealable) node queue. FLEP nodes exceed the window
+    #: for requests that outrank everything in flight (preemptive
+    #: dispatch — see ``_pump``).
     max_inflight: int = 4
+    #: Event-queue engine of the node's private simulator
+    #: (``heap`` | ``calendar``) — schedules are engine-independent.
+    queue: str = "heap"
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -92,6 +119,11 @@ class NodeRequest:
     node: Optional[int] = None
     #: Times this request was migrated by the work stealer.
     steals: int = 0
+    #: Times this request was reclaimed from a failed/fenced node and
+    #: re-routed by the dispatcher.
+    reroutes: int = 0
+    #: Why a shed happened: ``admission`` or ``drain``.
+    shed_cause: Optional[str] = None
     #: Node that actually completed it (for per-node attribution).
     completed_node: Optional[int] = None
 
@@ -104,9 +136,14 @@ class NodeStats:
     dispatched: int = 0
     completed: int = 0
     shed: int = 0
+    drain_shed: int = 0
+    lost: int = 0
     delayed: int = 0
     stolen_in: int = 0
     stolen_out: int = 0
+    rerouted_in: int = 0
+    rerouted_out: int = 0
+    rejoins: int = 0
     peak_queue: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -129,25 +166,9 @@ class FleetNode:
         self.index = index
         self.tenants = tenants
         self.config = config or NodeConfig()
-        mode = self.config.mode
-        if mode == "mps":
-            self.backend = MPSCoRun(
-                device=device, suite=suite, seed=self.config.seed
-            )
-            self.system: Optional[FlepSystem] = None
-        else:
-            self.system = FlepSystem(
-                policy=self.config.policy,
-                device=device,
-                suite=suite,
-                config=RuntimeConfig(
-                    spatial_enabled=(mode == "flep-spatial"),
-                    oracle_model=self.config.oracle_model,
-                ),
-                seed=self.config.seed,
-            )
-            self.backend = self.system
-        self.sim = self.backend.sim
+        self.device = device
+        self.suite = suite
+        self._build_backend()
         #: Fleet-shared tracker (the dispatcher owns it); a standalone
         #: node builds its own so it stays usable in isolation/tests.
         self.tracker = tracker if tracker is not None else SLOTracker(tenants)
@@ -162,8 +183,45 @@ class FleetNode:
         self.hooks: List = hooks if hooks is not None else []
         self.queue: Deque[NodeRequest] = deque()
         self.inflight: Dict[int, NodeRequest] = {}
+        #: Admission-delayed requests the node has promised to accept —
+        #: they count as backlog (delayed work is committed work).
+        self.held: Dict[int, NodeRequest] = {}
         self.stats = NodeStats()
         self._backlog_us: Dict[int, float] = {}
+        #: Lifecycle (see NODE_STATES); faults drive the transitions.
+        self.state: str = "up"
+        self.down_at: Optional[float] = None
+        self.drain_deadline_us: Optional[float] = None
+        self.stall_until_us: Optional[float] = None
+
+    def _build_backend(self) -> None:
+        """(Re)create the backend runtime; also used by :meth:`rejoin`."""
+        # imported here so a rejoin rebuild never pays import cost twice
+        from ..baselines.mps_corun import MPSCoRun
+        from ..core.flep import FlepSystem
+        from ..runtime.engine import RuntimeConfig
+
+        mode = self.config.mode
+        if mode == "mps":
+            self.backend = MPSCoRun(
+                device=self.device, suite=self.suite,
+                seed=self.config.seed, queue=self.config.queue,
+            )
+            self.system: Optional[FlepSystem] = None
+        else:
+            self.system = FlepSystem(
+                policy=self.config.policy,
+                device=self.device,
+                suite=self.suite,
+                config=RuntimeConfig(
+                    spatial_enabled=(mode == "flep-spatial"),
+                    oracle_model=self.config.oracle_model,
+                ),
+                seed=self.config.seed,
+                queue=self.config.queue,
+            )
+            self.backend = self.system
+        self.sim = self.backend.sim
 
     # ------------------------------------------------------------------
     # clock control (dispatcher only)
@@ -173,9 +231,10 @@ class FleetNode:
 
         Idle nodes (empty event queue) have their clock moved forward
         explicitly so a request routed at ``until`` is stamped at the
-        fleet time, not at whenever the node last had work.
+        fleet time, not at whenever the node last had work. A ``down``
+        node never advances — its clock froze at the crash.
         """
-        if until < self.sim.now:
+        if self.state == "down" or until < self.sim.now:
             return
         self.sim.run(until=until)
         if self.sim.now < until:
@@ -183,11 +242,134 @@ class FleetNode:
 
     def drain(self) -> None:
         """Run this node to completion (no more control points)."""
+        if self.state == "down":
+            return
         self.sim.run()
 
     @property
     def idle(self) -> bool:
         return not self.queue and not self.inflight and self.sim.pending() == 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (fault injection; dispatcher control points only)
+    # ------------------------------------------------------------------
+    @property
+    def routable(self) -> bool:
+        """May the routing policy (or the stealer) hand this node new
+        work? Stalled nodes stay routable — they are slow, not gone —
+        which is precisely the condition load-aware routing must beat
+        round-robin under."""
+        return self.state in ("up", "stalled")
+
+    @property
+    def active(self) -> bool:
+        """Does this node's clock still advance?"""
+        return self.state != "down"
+
+    def crash(self, now: float) -> Tuple[List[NodeRequest], List[NodeRequest]]:
+        """Kill the node at fleet time ``now``.
+
+        Returns ``(reclaimed, lost)``: queued + held requests the
+        dispatcher must re-route (they never touched the backend), and
+        the in-flight requests that died with the GPU — those are
+        marked terminal (``lost``) here, with the SLO tracker and the
+        hooks told exactly once.
+        """
+        if self.state == "down":
+            raise FleetError(f"node {self.index} is already down")
+        reclaimed: List[NodeRequest] = []
+        while self.queue:
+            req = self.queue.popleft()
+            req.state = "routed"
+            req.node = None
+            reclaimed.append(req)
+        for req_id in sorted(self.held):
+            req = self.held.pop(req_id)
+            req.state = "routed"
+            req.node = None
+            reclaimed.append(req)
+        lost: List[NodeRequest] = []
+        for req_id in sorted(self.inflight):
+            req = self.inflight.pop(req_id)
+            req.state = "lost"
+            self.stats.lost += 1
+            self.tracker.mark_lost(req.req_id)
+            self._notify("on_lost", req, self.index)
+            self._notify("on_resolve", req, self.index)
+            lost.append(req)
+        self._backlog_us.clear()
+        self.state = "down"
+        self.down_at = now
+        self.drain_deadline_us = None
+        self.stall_until_us = None
+        return reclaimed, lost
+
+    def begin_drain(self, now: float, deadline_us: float) -> None:
+        """Fence the node for a planned drain ending ``deadline_us``
+        from now. It keeps dispatching its own queue until then."""
+        if self.state != "up":
+            raise FleetError(
+                f"node {self.index} is {self.state}, only an up node drains"
+            )
+        self.state = "draining"
+        self.drain_deadline_us = now + deadline_us
+
+    def finish_drain(self) -> List[NodeRequest]:
+        """Drain deadline reached: shed whatever is still queued or held
+        (cause ``drain``), stop dispatching; in-flight work finishes on
+        its own clock. Returns the drain-shed requests."""
+        if self.state != "draining":
+            raise FleetError(
+                f"node {self.index} is {self.state}, not draining"
+            )
+        shed: List[NodeRequest] = []
+        while self.queue:
+            shed.append(self.queue.popleft())
+        for req_id in sorted(self.held):
+            shed.append(self.held.pop(req_id))
+        for req in shed:
+            self._backlog_sub(req)
+            req.state = "shed"
+            req.shed_cause = "drain"
+            req.node = self.index
+            self.stats.shed += 1
+            self.stats.drain_shed += 1
+            self.tracker.mark_shed(req.req_id, cause="drain")
+            self._notify("on_resolve", req, self.index)
+        self.state = "drained"
+        self.drain_deadline_us = None
+        return shed
+
+    def stall(self, now: float, duration_us: float) -> None:
+        """Freeze the dispatch window for ``duration_us`` (transient
+        hiccup): in-flight work keeps running, the queue keeps filling."""
+        if self.state != "up":
+            raise FleetError(
+                f"node {self.index} is {self.state}, only an up node stalls"
+            )
+        self.state = "stalled"
+        self.stall_until_us = now + duration_us
+
+    def unstall(self) -> None:
+        """End a stall and immediately pump the backed-up queue."""
+        if self.state != "stalled":
+            raise FleetError(f"node {self.index} is {self.state}, not stalled")
+        self.state = "up"
+        self.stall_until_us = None
+        self._pump()
+
+    def rejoin(self, now: float) -> None:
+        """A crashed node returns: fresh backend runtime, empty queue,
+        clock aligned to fleet time ``now``."""
+        if self.state != "down":
+            raise FleetError(
+                f"node {self.index} is {self.state}, only a down node rejoins"
+            )
+        self._build_backend()
+        self.sim.clock.advance_to(now)
+        self.state = "up"
+        self.down_at = None
+        self.stats.rejoins += 1
 
     # ------------------------------------------------------------------
     # load introspection (read-only; the routing-policy contract)
@@ -198,15 +380,21 @@ class FleetNode:
     def inflight_us(self) -> float:
         return sum(r.predicted_us for r in self.inflight.values())
 
+    def held_us(self) -> float:
+        return sum(r.predicted_us for r in self.held.values())
+
     def load_us(self) -> float:
-        """Admitted-but-unfinished predicted work on this node (µs)."""
+        """Admitted-but-unfinished predicted work on this node (µs),
+        including admission-delayed (held) requests."""
         return sum(self._backlog_us.values())
 
     def backlog_for(self, priority: int) -> float:
         """Backlog served at or above ``priority`` — under FLEP lower
         priority work is preempted out of the way; under MPS everything
         queues FIFO, so the whole backlog counts (same rule as
-        :meth:`repro.serving.server.ServingSystem.backlog_us`)."""
+        :meth:`repro.serving.server.ServingSystem.backlog_us`). Held
+        (admission-delayed) requests count: they are committed work the
+        router and the stealer must see."""
         if self.config.mode == "mps":
             return sum(self._backlog_us.values())
         return sum(us for p, us in self._backlog_us.items() if p >= priority)
@@ -216,6 +404,19 @@ class FleetNode:
         return len(self.queue)
 
     # ------------------------------------------------------------------
+    # backlog bookkeeping
+    # ------------------------------------------------------------------
+    def _backlog_add(self, req: NodeRequest) -> None:
+        p = req.tenant.priority
+        self._backlog_us[p] = self._backlog_us.get(p, 0.0) + req.predicted_us
+
+    def _backlog_sub(self, req: NodeRequest) -> None:
+        p = req.tenant.priority
+        self._backlog_us[p] = max(
+            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
+        )
+
+    # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
     def enqueue(self, req: NodeRequest) -> None:
@@ -223,6 +424,11 @@ class FleetNode:
         if req.state != "routed":
             raise FleetError(
                 f"request #{req.req_id} enqueued in state {req.state!r}"
+            )
+        if not self.routable:
+            raise FleetError(
+                f"request #{req.req_id} routed to node {self.index} "
+                f"in state {self.state!r}"
             )
         req.node = self.index
         self.stats.routed += 1
@@ -235,26 +441,37 @@ class FleetNode:
         )
         if verdict.decision is Decision.SHED:
             req.state = "shed"
+            req.shed_cause = "admission"
             self.stats.shed += 1
             self.tracker.mark_shed(req.req_id)
             self._notify("on_resolve", req, self.index)
         elif verdict.decision is Decision.DELAY:
             req.state = "held"
+            self.held[req.req_id] = req
+            self._backlog_add(req)
             self.stats.delayed += 1
             self.tracker.mark_delayed(req.req_id)
             self.sim.schedule(
-                verdict.hold_us, lambda: self._accept(req),
+                verdict.hold_us, lambda: self._admit_held(req),
                 label=f"fleet-delay:n{self.index}",
             )
         else:
             self._accept(req)
 
-    def _accept(self, req: NodeRequest) -> None:
+    def _admit_held(self, req: NodeRequest) -> None:
+        """Delay expired: accept, unless the request was reclaimed (node
+        crash) or shed (drain fence) while it waited — the held dict is
+        the source of truth, a stale timer is a no-op."""
+        if self.held.pop(req.req_id, None) is None:
+            return
+        self._accept(req, from_held=True)
+
+    def _accept(self, req: NodeRequest, from_held: bool = False) -> None:
         """Admitted: join the (stealable) node queue and pump."""
         req.state = "queued"
         req.node = self.index
-        p = req.tenant.priority
-        self._backlog_us[p] = self._backlog_us.get(p, 0.0) + req.predicted_us
+        if not from_held:
+            self._backlog_add(req)
         self.queue.append(req)
         if len(self.queue) > self.stats.peak_queue:
             self.stats.peak_queue = len(self.queue)
@@ -290,10 +507,7 @@ class FleetNode:
             raise FleetError(
                 f"request #{req.req_id} is not queued on node {self.index}"
             ) from None
-        p = req.tenant.priority
-        self._backlog_us[p] = max(
-            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
-        )
+        self._backlog_sub(req)
         req.state = "routed"
         req.node = None
         self.stats.stolen_out += 1
@@ -306,16 +520,65 @@ class FleetNode:
             raise FleetError(
                 f"stolen request #{req.req_id} arrives in state {req.state!r}"
             )
+        if not self.routable:
+            raise FleetError(
+                f"node {self.index} is {self.state}: it cannot receive "
+                f"stolen request #{req.req_id}"
+            )
         req.steals += 1
         self.stats.stolen_in += 1
+        self._accept(req)
+
+    def accept_rerouted(self, req: NodeRequest) -> None:
+        """Take over a request reclaimed from a crashed node. Like a
+        steal, re-admission is skipped: the work was already admitted
+        into the fleet and losing its node must not shed it twice."""
+        if req.state != "routed":
+            raise FleetError(
+                f"re-routed request #{req.req_id} arrives in state "
+                f"{req.state!r}"
+            )
+        if not self.routable:
+            raise FleetError(
+                f"node {self.index} is {self.state}: it cannot receive "
+                f"re-routed request #{req.req_id}"
+            )
+        req.reroutes += 1
+        self.stats.rerouted_in += 1
         self._accept(req)
 
     # ------------------------------------------------------------------
     # dispatch into the backend
     # ------------------------------------------------------------------
     def _pump(self) -> None:
+        if self.state in ("stalled", "drained", "down"):
+            return
         while self.queue and len(self.inflight) < self.config.max_inflight:
             req = self.queue.popleft()
+            self._dispatch(req)
+        if self.config.mode == "mps":
+            return
+        # Preemptive dispatch (the FLEP property, lifted one layer up):
+        # a full window of *lower-priority* kernels must not convoy a
+        # higher-priority request at the dispatch layer — the backend
+        # can preempt them, so hand the request over and let it. Without
+        # this, a priority-p request waits behind in-flight work that
+        # backlog_for(p) rightly excludes, and every estimate-driven
+        # router (deadline, least-loaded) is systematically misled on
+        # exactly the overloaded nodes it most needs to reason about.
+        while self.queue and self.inflight:
+            floor = min(
+                r.tenant.priority for r in self.inflight.values()
+            )
+            idx = next(
+                (i for i, r in enumerate(self.queue)
+                 if r.tenant.priority > floor),
+                None,
+            )
+            if idx is None:
+                return
+            req = self.queue[idx]
+            del self.queue[idx]
             self._dispatch(req)
 
     def _dispatch(self, req: NodeRequest) -> None:
@@ -347,10 +610,7 @@ class FleetNode:
         req.state = "done"
         req.completed_node = self.index
         del self.inflight[req.req_id]
-        p = req.tenant.priority
-        self._backlog_us[p] = max(
-            0.0, self._backlog_us.get(p, 0.0) - req.predicted_us
-        )
+        self._backlog_sub(req)
         self.stats.completed += 1
         self.tracker.mark_completed(req.req_id, self.sim.now)
         self._notify("on_resolve", req, self.index)
@@ -363,7 +623,7 @@ class FleetNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"FleetNode#{self.index}({self.config.mode}, "
+            f"FleetNode#{self.index}({self.config.mode}, {self.state}, "
             f"now={self.sim.now:.0f}us, queue={len(self.queue)}, "
             f"inflight={len(self.inflight)})"
         )

@@ -6,6 +6,10 @@ serves it? The contract (enforced by the dispatcher and exercised by
 
 * ``choose(req, nodes, now)`` returns an integer index in
   ``[0, len(nodes))``;
+* ``nodes`` is the sequence of **routable** nodes only — the dispatcher
+  fences draining / drained / crashed nodes out before asking, so a
+  policy never has to reason about the fault lifecycle (a node's
+  ``.index`` is its fleet identity; its position in ``nodes`` is not);
 * the policy must not mutate the nodes — it may only read their load
   introspection API (``load_us()``, ``backlog_for()``, ``queue_len``);
   a policy may keep *internal* state (round-robin's cursor);

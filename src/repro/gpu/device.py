@@ -131,6 +131,38 @@ def pascal_p100(**cost_overrides) -> GPUDeviceSpec:
     return spec
 
 
+#: Named device factories for per-node fleet specs (``--devices``).
+DEVICE_CATALOG = {
+    "k40": tesla_k40,
+    "p100": pascal_p100,
+}
+
+
+def device_from_spec(spec: str) -> GPUDeviceSpec:
+    """Resolve a device spec string like ``"k40"`` or ``"p100@40"``.
+
+    The optional ``@N`` suffix overrides the SM count, so a fleet can
+    mix a full-size GPU with cut-down siblings (``k40@8``) — the
+    calibrated suite built against the smaller device then yields
+    proportionally longer task times, which is how degradation
+    experiments model losing the *big* node.
+    """
+    name, _, sms = spec.strip().partition("@")
+    if name not in DEVICE_CATALOG:
+        raise ResourceError(
+            f"unknown device spec {name!r} (have {sorted(DEVICE_CATALOG)})"
+        )
+    device = DEVICE_CATALOG[name]()
+    if sms:
+        try:
+            device = device.with_sms(int(sms))
+        except ValueError:
+            raise ResourceError(
+                f"bad SM count in device spec {spec!r}"
+            ) from None
+    return device
+
+
 def small_test_gpu(num_sms: int = 2, max_ctas_per_sm: int = 2) -> GPUDeviceSpec:
     """A tiny device matching Figure 2's illustration (2 SMs x 2 CTAs).
 

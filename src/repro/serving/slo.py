@@ -45,7 +45,12 @@ class RequestLog:
     kernel: str
     input_name: str
     predicted_us: float = 0.0
-    outcome: str = "pending"      # pending | completed | shed | rate_limited
+    #: ``lost`` = the request died with its node (fleet fault injection);
+    #: it counts as an SLO miss exactly like a shed.
+    outcome: str = "pending"  # pending | completed | shed | rate_limited | lost
+    #: Why a shed happened: ``admission`` (the default) or ``drain`` (a
+    #: fleet node fenced for a planned drain could not finish it in time).
+    shed_cause: Optional[str] = None
     delayed: bool = False
     finished_us: Optional[float] = None
     slo_us: Optional[float] = None
@@ -81,6 +86,10 @@ class TenantReport:
     requests: int = 0
     completed: int = 0
     shed: int = 0
+    #: Of the sheds, how many were drain-sheds (fleet node fencing).
+    drain_shed: int = 0
+    #: Requests that died in flight with their node (fleet faults).
+    lost: int = 0
     rate_limited: int = 0
     delayed: int = 0
     deadline_misses: int = 0
@@ -226,11 +235,28 @@ class SLOTracker:
         if self.obs.enabled:
             self._m_delayed.inc(tenant=self._by_id[req_id].tenant)
 
-    def mark_shed(self, req_id: int, rate_limited: bool = False) -> None:
+    def mark_shed(
+        self, req_id: int, rate_limited: bool = False,
+        cause: Optional[str] = None,
+    ) -> None:
         log = self._by_id[req_id]
         log.outcome = "rate_limited" if rate_limited else "shed"
+        if log.outcome == "shed":
+            log.shed_cause = cause or "admission"
         if self.obs.enabled:
             self._m_requests.inc(tenant=log.tenant, outcome=log.outcome)
+
+    def mark_lost(self, req_id: int) -> None:
+        """The request died with its node (crash mid-flight): terminal,
+        never completed, counts as an SLO miss like a shed."""
+        log = self._by_id[req_id]
+        if log.outcome == "completed":
+            raise ServingError(
+                f"request {req_id} completed; it cannot be lost"
+            )
+        log.outcome = "lost"
+        if self.obs.enabled:
+            self._m_requests.inc(tenant=log.tenant, outcome="lost")
 
     def mark_completed(self, req_id: int, finished_us: float) -> None:
         log = self._by_id[req_id]
@@ -265,6 +291,11 @@ class SLOTracker:
             ]
             row.completed = len(latencies)
             row.shed = sum(1 for r in logs if r.outcome == "shed")
+            row.drain_shed = sum(
+                1 for r in logs
+                if r.outcome == "shed" and r.shed_cause == "drain"
+            )
+            row.lost = sum(1 for r in logs if r.outcome == "lost")
             row.rate_limited = sum(
                 1 for r in logs if r.outcome == "rate_limited"
             )

@@ -34,6 +34,7 @@ from .fleet import (
     install_fleet_monitor,
 )
 from .fuzz import (
+    FleetFuzzCase,
     FuzzCase,
     FuzzFailure,
     FuzzJob,
@@ -43,6 +44,7 @@ from .fuzz import (
     encode_case,
     fuzz,
     generate_case,
+    generate_fleet_case,
     run_case,
     shrink,
 )
@@ -96,10 +98,12 @@ __all__ = [
     # fuzz
     "FuzzJob",
     "FuzzCase",
+    "FleetFuzzCase",
     "FuzzResult",
     "FuzzFailure",
     "FuzzReport",
     "generate_case",
+    "generate_fleet_case",
     "run_case",
     "shrink",
     "fuzz",

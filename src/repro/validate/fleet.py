@@ -1,4 +1,4 @@
-"""Fleet-level conformance: steal safety and request conservation.
+"""Fleet-level conformance: steal safety, conservation, fault accounting.
 
 The :class:`FleetConformanceMonitor` is a
 :class:`~repro.fleet.dispatcher.FleetHook` — it watches the dispatcher's
@@ -10,26 +10,32 @@ above any single node's event loop). It enforces:
   the ``routed`` (post-``take``) state. The node's ``take`` API already
   refuses non-queued requests; this monitor re-derives the same fact
   from the dispatch/resolve history, so a bug in the node's state
-  machine cannot silently excuse itself.
+  machine cannot silently excuse itself. Crash re-routes obey the same
+  contract (:meth:`~FleetConformanceMonitor.on_reroute`).
 * **single dispatch** — a request enters a backend at most once (a
   steal after dispatch would double-run the kernel);
-* **single resolution** — exactly one terminal event per request;
+* **single resolution** — exactly one terminal event per request, and
+  the terminal state is one of ``done`` / ``shed`` / ``lost``;
+* **clock monotonicity** — the dispatcher's control points never move
+  fleet time backwards (faults included);
 * **conservation** (at finalize) — every routed request resolved: no
   request is still queued, held, or inflight after the fleet drained
-  with no horizon cut (``full_drain=False`` skips this for bounded
-  ``run(until=...)`` windows).
+  with no horizon cut, *even across crashes, drains and rejoins*
+  (``full_drain=False`` skips this for bounded ``run(until=...)``
+  windows). A lost request counts as resolved — loss is accounted,
+  not silent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, List, Optional, Set
 
 from ..errors import InvariantViolation
 from ..fleet.dispatcher import FleetHook
 
 
 class FleetConformanceMonitor(FleetHook):
-    """Online checker for the dispatcher/steal contract."""
+    """Online checker for the dispatcher/steal/fault contract."""
 
     name = "fleet-conformance"
 
@@ -39,36 +45,71 @@ class FleetConformanceMonitor(FleetHook):
         #: req_id -> node it was dispatched on (backend owns it)
         self._dispatched: Dict[int, int] = {}
         self._resolved: Dict[int, str] = {}
+        self._last_advance = 0.0
         self.steals_seen = 0
+        self.reroutes_seen = 0
+        self.losses_seen = 0
+        self.faults_seen = 0
 
     def fail(self, message: str, **context) -> None:
         raise InvariantViolation(message, monitor=self.name, **context)
 
     # ------------------------------------------------------------------
+    def on_advance(self, now: float) -> None:
+        if now < self._last_advance:
+            self.fail(
+                "fleet time moved backwards",
+                now=now, last=self._last_advance,
+            )
+        self._last_advance = now
+
     def on_route(self, req, node: int) -> None:
         self._routed.add(req.req_id)
 
-    def on_steal(self, req, src: int, dst: int) -> None:
-        self.steals_seen += 1
+    def _check_migration(self, req, src: int, dst: int, what: str) -> None:
         if req.req_id in self._dispatched and req.req_id not in self._resolved:
             self.fail(
-                "a dispatched (running) request was migrated",
+                f"a dispatched (running) request was {what}",
                 req=req.req_id, src=src, dst=dst,
                 dispatched_on=self._dispatched[req.req_id],
             )
         if req.req_id in self._resolved:
             self.fail(
-                "a resolved request was migrated",
+                f"a resolved request was {what}",
                 req=req.req_id, src=src, dst=dst,
                 outcome=self._resolved[req.req_id],
             )
         if req.state != "routed":
             self.fail(
-                "stolen request left its source in a non-routed state",
+                f"{what} request left its source in a non-routed state",
                 req=req.req_id, state=req.state, src=src, dst=dst,
             )
+
+    def on_steal(self, req, src: int, dst: int) -> None:
+        self.steals_seen += 1
+        self._check_migration(req, src, dst, "migrated")
         if src == dst:
             self.fail("steal with src == dst", req=req.req_id, node=src)
+
+    def on_reroute(self, req, src: int, dst: int) -> None:
+        self.reroutes_seen += 1
+        self._check_migration(req, src, dst, "re-routed")
+        if src == dst:
+            self.fail(
+                "request re-routed back to the node that crashed",
+                req=req.req_id, node=src,
+            )
+
+    def on_fault(self, event, node: int) -> None:
+        self.faults_seen += 1
+
+    def on_lost(self, req, node: int) -> None:
+        self.losses_seen += 1
+        if req.state != "lost":
+            self.fail(
+                "on_lost fired for a request not in the lost state",
+                req=req.req_id, state=req.state, node=node,
+            )
 
     def on_dispatch(self, req, node: int) -> None:
         if req.req_id in self._dispatched:
@@ -91,6 +132,11 @@ class FleetConformanceMonitor(FleetHook):
                 req=req.req_id, first=self._resolved[req.req_id],
                 again=req.state,
             )
+        if req.state not in ("done", "shed", "lost"):
+            self.fail(
+                "request resolved in a non-terminal state",
+                req=req.req_id, state=req.state, node=node,
+            )
         self._resolved[req.req_id] = req.state
 
     def finalize(self, fleet) -> None:
@@ -100,7 +146,20 @@ class FleetConformanceMonitor(FleetHook):
             if node.inflight:
                 self.fail(
                     "requests still inflight after the fleet drained",
-                    node=node.index, inflight=sorted(node.inflight),
+                    node=node.index, state=node.state,
+                    inflight=sorted(node.inflight),
+                )
+            if node.queue:
+                self.fail(
+                    "requests still queued after the fleet drained",
+                    node=node.index, state=node.state,
+                    queued=len(node.queue),
+                )
+            if node.held:
+                self.fail(
+                    "requests still held after the fleet drained",
+                    node=node.index, state=node.state,
+                    held=sorted(node.held),
                 )
         unresolved = self._routed - set(self._resolved)
         if unresolved:
@@ -109,12 +168,6 @@ class FleetConformanceMonitor(FleetHook):
                 count=len(unresolved),
                 sample=sorted(unresolved)[:5],
             )
-        for node in fleet.nodes:
-            if node.queue:
-                self.fail(
-                    "requests still queued after the fleet drained",
-                    node=node.index, queued=len(node.queue),
-                )
 
 
 def install_fleet_monitor(fleet, full_drain: bool = True):
@@ -125,6 +178,22 @@ def install_fleet_monitor(fleet, full_drain: bool = True):
     return monitor
 
 
+class _BundleFaultHook(FleetHook):
+    """Keeps a :class:`FleetMonitorBundle`'s node monitor sets in sync
+    with the node lifecycle: a crash retires the dead backend's set
+    (its pools will never quiesce — the run was cut mid-flight), a
+    rejoin installs a fresh set on the rebuilt backend."""
+
+    def __init__(self, bundle: "FleetMonitorBundle"):
+        self.bundle = bundle
+
+    def on_fault(self, event, node: int) -> None:
+        if event.kind == "crash":
+            self.bundle.retire_node(node)
+        elif event.kind == "rejoin":
+            self.bundle.watch_node(node)
+
+
 class FleetMonitorBundle:
     """Every monitor a fleet run wants, installed in one call.
 
@@ -132,28 +201,55 @@ class FleetMonitorBundle:
     (resource budgets, conservation, time monotonicity, policy
     contracts — whatever each node's backend exposes) plus the
     fleet-level :class:`FleetConformanceMonitor` on the dispatcher's
-    hook list. Usable as a context manager, like a ``MonitorSet``:
-    exiting without error finalizes the node sets (the fleet monitor's
-    ``finalize`` is invoked by ``FleetSystem.run`` itself).
+    hook list. Fault-aware: a crashed node's set is retired un-finalized
+    (the backend died mid-flight; node-level conservation cannot hold on
+    a corpse — the *fleet-level* monitor still accounts its requests),
+    and a rejoining node's rebuilt backend gets a fresh set. Usable as a
+    context manager, like a ``MonitorSet``: exiting without error
+    finalizes the surviving node sets (the fleet monitor's ``finalize``
+    is invoked by ``FleetSystem.run`` itself).
     """
 
     def __init__(self, fleet, full_drain: bool = True):
         from .monitors import install_monitors
 
+        self._install = install_monitors
         self.fleet = fleet
-        self.node_sets = [install_monitors(n.backend) for n in fleet.nodes]
+        self.node_sets: List[Optional[object]] = [
+            install_monitors(n.backend) for n in fleet.nodes
+        ]
         self.fleet_monitor = install_fleet_monitor(fleet, full_drain)
+        self._fault_hook = _BundleFaultHook(self)
+        fleet.hooks.append(self._fault_hook)
 
+    # ------------------------------------------------------------------
+    def retire_node(self, index: int) -> None:
+        """Drop the monitor set of a crashed node without finalizing."""
+        ms = self.node_sets[index]
+        if ms is not None:
+            ms.uninstall()
+        self.node_sets[index] = None
+
+    def watch_node(self, index: int) -> None:
+        """Install a fresh monitor set on a rejoined node's backend."""
+        self.node_sets[index] = self._install(
+            self.fleet.nodes[index].backend
+        )
+
+    # ------------------------------------------------------------------
     def finalize(self) -> None:
-        """Run every node set's end-of-run checks (call after ``run``)."""
+        """Run every live node set's end-of-run checks (after ``run``)."""
         for ms in self.node_sets:
-            ms.finalize()
+            if ms is not None:
+                ms.finalize()
 
     def uninstall(self) -> None:
         for ms in self.node_sets:
-            ms.uninstall()
-        if self.fleet_monitor in self.fleet.hooks:
-            self.fleet.hooks.remove(self.fleet_monitor)
+            if ms is not None:
+                ms.uninstall()
+        for hook in (self.fleet_monitor, self._fault_hook):
+            if hook in self.fleet.hooks:
+                self.fleet.hooks.remove(hook)
 
     def __enter__(self) -> "FleetMonitorBundle":
         return self
@@ -164,4 +260,4 @@ class FleetMonitorBundle:
             self.finalize()
 
     def __iter__(self):
-        return iter(self.node_sets)
+        return iter(ms for ms in self.node_sets if ms is not None)

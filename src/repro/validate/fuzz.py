@@ -14,6 +14,14 @@ replay token for ``flep fuzz --replay TOKEN``.
 Cases run on the oracle performance model with small/trivial inputs, so
 one case costs tens of milliseconds and a 200-case CI budget stays well
 under a minute.
+
+The fuzzer also has a **fleet mode** (:func:`generate_fleet_case`, the
+``fleet_budget`` argument / ``flep fuzz --fleet-budget``): small 2–3
+node fleets with a random routing policy, steal on/off, and an optional
+injected fault (crash / drain / stall, with a possible rejoin), run
+under the full :class:`~repro.validate.fleet.FleetMonitorBundle` plus a
+request-conservation check on the rollup. Fleet cases shrink and replay
+exactly like single-GPU ones; their tokens start with ``f``.
 """
 
 from __future__ import annotations
@@ -27,9 +35,18 @@ from typing import Callable, Dict, List, Optional
 
 from ..baselines.mps_corun import MPSCoRun
 from ..core.flep import FlepSystem
-from ..errors import ReproError, ValidationError
+from ..errors import FleetError, ReproError, ValidationError
+from ..fleet import (
+    FaultEvent,
+    FaultPlan,
+    FleetConfig,
+    FleetHook,
+    FleetSystem,
+)
+from ..fleet.routing import ROUTERS
 from ..gpu.device import GPUDeviceSpec, tesla_k40
 from ..runtime.engine import RuntimeConfig
+from ..serving.tenants import Tenant, TenantSet
 from ..workloads.benchmarks import BENCHMARK_NAMES, standard_suite
 from .monitors import install_monitors, off_by_one_spec
 from .oracles import hpf_differential, temporal_differential
@@ -37,12 +54,14 @@ from .oracles import hpf_differential, temporal_differential
 __all__ = [
     "MODES",
     "PLANTS",
+    "FleetFuzzCase",
     "FuzzJob",
     "FuzzCase",
     "FuzzResult",
     "FuzzFailure",
     "FuzzReport",
     "generate_case",
+    "generate_fleet_case",
     "run_case",
     "shrink",
     "fuzz",
@@ -53,6 +72,10 @@ __all__ = [
 MODES = ("mps", "flep-temporal", "flep-spatial")
 _POLICIES = ("hpf", "ffs", "fifo", "reorder", "edf")
 _INPUTS = ("small", "trivial")
+#: routing policies a fleet case may draw (sorted for determinism)
+_FLEET_ROUTINGS = tuple(sorted(ROUTERS))
+#: fuzz-case priority -> tenant; mirrors the serving experiments' tiering
+_TENANT_BY_PRIORITY = {0: "batch", 1: "analytics", 2: "web"}
 #: per-case event budget: a legitimate small co-run needs ~1e4 events,
 #: so hitting this means a runaway loop — exactly what we want to catch
 _CASE_MAX_EVENTS = 2_000_000
@@ -197,6 +220,83 @@ def generate_case(seed: int, plant: Optional[str] = None) -> FuzzCase:
 
 
 # ---------------------------------------------------------------------------
+# fleet mode
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetFuzzCase:
+    """One reproducible fleet workload: a small 2–3 node cluster with a
+    random routing policy, steal on/off, and an optional injected fault
+    plan (replayed as ``f...`` tokens)."""
+
+    seed: int
+    modes: tuple
+    routing: str
+    steal: bool
+    jobs: tuple
+    faults: tuple = ()
+
+    def describe(self) -> str:
+        jobs = ", ".join(
+            f"{j.kernel}[{j.input_name}]p{j.priority}@{j.arrival_us:.0f}us"
+            for j in self.jobs
+        )
+        faults = FaultPlan(self.faults).describe()
+        return (
+            f"seed={self.seed} nodes={'/'.join(self.modes)} "
+            f"routing={self.routing} steal={'on' if self.steal else 'off'} "
+            f"faults={faults}: {jobs}"
+        )
+
+
+def generate_fleet_case(seed: int) -> FleetFuzzCase:
+    """Derive one fleet case deterministically from ``seed``: 2–3 nodes
+    with random modes, a random routing policy, steal on/off, 3–8 jobs
+    on the coarse arrival grid, and (half the time) one injected fault
+    — a crash (possibly with a later rejoin), a drain, or a stall."""
+    rng = random.Random(seed)
+    n_nodes = rng.randint(2, 3)
+    modes = tuple(rng.choice(MODES) for _ in range(n_nodes))
+    routing = rng.choice(_FLEET_ROUTINGS)
+    steal = rng.random() < 0.5
+    jobs = []
+    for _ in range(rng.randint(3, 8)):
+        jobs.append(
+            FuzzJob(
+                kernel=rng.choice(BENCHMARK_NAMES),
+                input_name=rng.choice(_INPUTS),
+                priority=rng.randint(0, 2),
+                arrival_us=float(rng.randrange(0, 3001, 50)),
+            )
+        )
+    jobs.sort(key=lambda j: j.arrival_us)
+    faults: List[FaultEvent] = []
+    if rng.random() < 0.5:
+        kind = rng.choice(("crash", "drain", "stall"))
+        node = rng.randrange(n_nodes)
+        at = float(rng.randrange(200, 3001, 100))
+        if kind == "crash":
+            faults.append(FaultEvent("crash", node, at))
+            if rng.random() < 0.5:
+                faults.append(FaultEvent(
+                    "rejoin", node, at + rng.randrange(200, 2001, 100),
+                ))
+        elif kind == "drain":
+            faults.append(FaultEvent(
+                "drain", node, at,
+                deadline_us=float(rng.randrange(100, 1001, 100)),
+            ))
+        else:
+            faults.append(FaultEvent(
+                "stall", node, at,
+                duration_us=float(rng.randrange(100, 1001, 100)),
+            ))
+    return FleetFuzzCase(
+        seed=seed, modes=modes, routing=routing, steal=steal,
+        jobs=tuple(jobs), faults=FaultPlan(tuple(faults)).events,
+    )
+
+
+# ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
 def _planted_spec(case: FuzzCase, device: GPUDeviceSpec):
@@ -207,10 +307,73 @@ def _planted_spec(case: FuzzCase, device: GPUDeviceSpec):
     raise ValidationError(f"unknown plant {case.plant!r}")
 
 
+class _EventBudgetHook(FleetHook):
+    """Re-arm the per-node event budget on the backend a rejoin rebuilds."""
+
+    def __init__(self, fleet: FleetSystem):
+        self.fleet = fleet
+
+    def on_fault(self, event, node: int) -> None:
+        if event.kind == "rejoin":
+            self.fleet.nodes[node].sim.max_events = _CASE_MAX_EVENTS
+
+
+def _run_fleet_case(
+    case: FleetFuzzCase, device: Optional[GPUDeviceSpec] = None
+) -> FuzzResult:
+    """Execute one fleet case under the full monitor bundle, then check
+    request conservation on the rollup (every request ends exactly one
+    of done / shed / lost, nothing pending)."""
+    device = device or tesla_k40()
+    suite = _shared_suite(device)
+    checks: List[str] = []
+    try:
+        fleet = FleetSystem(
+            [
+                Tenant("batch", priority=0),
+                Tenant("analytics", priority=1, slo_us=25_000.0),
+                Tenant("web", priority=2, slo_us=3_000.0),
+            ],
+            FleetConfig(
+                node_modes=case.modes, routing=case.routing,
+                steal=case.steal, seed=case.seed, oracle_model=True,
+                faults=FaultPlan(case.faults),
+            ),
+            device=device, suite=suite,
+        )
+        for node in fleet.nodes:
+            node.sim.max_events = _CASE_MAX_EVENTS
+        fleet.hooks.append(_EventBudgetHook(fleet))
+        monitors = install_monitors(fleet, require_complete=True)
+        checks.append("fleet-monitors")
+        for job in case.jobs:
+            fleet.submit_at(
+                job.arrival_us, _TENANT_BY_PRIORITY[job.priority],
+                job.kernel, job.input_name,
+            )
+        report = fleet.run()
+        monitors.finalize()
+        monitors.uninstall()
+        if not report.conservation["accounted"]:
+            raise ValidationError(
+                f"fleet case leaked requests: {report.conservation} "
+                f"({case.describe()})"
+            )
+        checks.append("conservation")
+    except ReproError as exc:
+        return FuzzResult(
+            case=case, ok=False, error=str(exc),
+            error_type=type(exc).__name__, checks=checks,
+        )
+    return FuzzResult(case=case, ok=True, checks=checks)
+
+
 def run_case(
     case: FuzzCase, device: Optional[GPUDeviceSpec] = None
 ) -> FuzzResult:
     """Execute one case under the monitors (and applicable oracles)."""
+    if isinstance(case, FleetFuzzCase):
+        return _run_fleet_case(case, device=device)
     device = device or tesla_k40()
     suite = _shared_suite(device)
     checks: List[str] = []
@@ -278,8 +441,62 @@ def run_case(
 # ---------------------------------------------------------------------------
 # shrinking
 # ---------------------------------------------------------------------------
+def _fleet_candidates(case: FleetFuzzCase) -> List[FleetFuzzCase]:
+    """Fleet-case simplification steps, most aggressive first. A step
+    that would produce an invalid fault plan (e.g. a rejoin whose crash
+    was dropped) is skipped rather than offered."""
+    out: List[FleetFuzzCase] = []
+
+    def try_add(**changes) -> None:
+        try:
+            candidate = replace(case, **changes)
+            FaultPlan(candidate.faults).check_nodes(len(candidate.modes))
+        except FleetError:
+            return
+        out.append(candidate)
+
+    # drop the fault plan entirely, then one event at a time
+    if case.faults:
+        try_add(faults=())
+        if len(case.faults) > 1:
+            for i in range(len(case.faults)):
+                try_add(faults=case.faults[:i] + case.faults[i + 1:])
+    # drop one job at a time
+    if len(case.jobs) > 1:
+        for i in range(len(case.jobs)):
+            try_add(jobs=case.jobs[:i] + case.jobs[i + 1:])
+    # structural simplifications: steal off, boring routing, fewer /
+    # uniform nodes
+    if case.steal:
+        try_add(steal=False)
+    if case.routing != "round-robin":
+        try_add(routing="round-robin")
+    if len(case.modes) > 2:
+        try_add(modes=case.modes[:2])
+    if any(m != "mps" for m in case.modes):
+        try_add(modes=tuple("mps" for _ in case.modes))
+    # per-job field simplifications (same ladder as single-GPU cases)
+    for i, job in enumerate(case.jobs):
+        def with_job(j, i=i):
+            try_add(jobs=case.jobs[:i] + (j,) + case.jobs[i + 1:])
+
+        if job.input_name != "trivial":
+            with_job(replace(job, input_name="trivial"))
+        if job.priority != 0:
+            with_job(replace(job, priority=0))
+        if job.arrival_us != 0.0:
+            with_job(replace(job, arrival_us=0.0))
+            if job.arrival_us > 100.0:
+                with_job(replace(job, arrival_us=job.arrival_us / 2))
+        if job.kernel != "VA":
+            with_job(replace(job, kernel="VA"))
+    return out
+
+
 def _candidates(case: FuzzCase) -> List[FuzzCase]:
     """Simplification steps, most aggressive first."""
+    if isinstance(case, FleetFuzzCase):
+        return _fleet_candidates(case)
     out: List[FuzzCase] = []
     # drop one job at a time
     if len(case.jobs) > 1:
@@ -351,31 +568,45 @@ def shrink(
 # ---------------------------------------------------------------------------
 # replay tokens
 # ---------------------------------------------------------------------------
-def encode_case(case: FuzzCase) -> str:
-    """Pack a case into a compact replay token (``c`` + base64url)."""
-    payload = {
+def _pack(payload: dict, prefix: str) -> str:
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    packed = base64.urlsafe_b64encode(zlib.compress(raw, 9)).decode("ascii")
+    return prefix + packed.rstrip("=")
+
+
+def encode_case(case) -> str:
+    """Pack a case into a compact replay token: ``c`` + base64url for
+    single-GPU cases, ``f`` + base64url for fleet cases."""
+    if isinstance(case, FleetFuzzCase):
+        return _pack({
+            "v": 1,
+            "seed": case.seed,
+            "modes": list(case.modes),
+            "routing": case.routing,
+            "steal": case.steal,
+            "jobs": [asdict(j) for j in case.jobs],
+            "faults": [ev.as_dict() for ev in case.faults],
+        }, "f")
+    return _pack({
         "v": 1,
         "seed": case.seed,
         "mode": case.mode,
         "policy": case.policy,
         "plant": case.plant,
         "jobs": [asdict(j) for j in case.jobs],
-    }
-    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    packed = base64.urlsafe_b64encode(zlib.compress(raw, 9)).decode("ascii")
-    return "c" + packed.rstrip("=")
+    }, "c")
 
 
-def decode_case(token: str) -> FuzzCase:
+def decode_case(token: str):
     """Inverse of :func:`encode_case`; bare integers replay
     ``generate_case(int(token))`` directly."""
     token = token.strip()
     if token.lstrip("-").isdigit():
         return generate_case(int(token))
-    if not token.startswith("c"):
+    if not token[:1] in ("c", "f"):
         raise ValidationError(
             f"not a replay token: {token[:32]!r} (expected an integer "
-            "seed or a 'c...' token printed by flep fuzz)"
+            "seed or a 'c...'/'f...' token printed by flep fuzz)"
         )
     body = token[1:]
     body += "=" * (-len(body) % 4)
@@ -383,6 +614,17 @@ def decode_case(token: str) -> FuzzCase:
         raw = zlib.decompress(base64.urlsafe_b64decode(body))
         payload = json.loads(raw)
         jobs = tuple(FuzzJob(**j) for j in payload["jobs"])
+        if token[0] == "f":
+            return FleetFuzzCase(
+                seed=int(payload["seed"]),
+                modes=tuple(payload["modes"]),
+                routing=payload["routing"],
+                steal=bool(payload["steal"]),
+                jobs=jobs,
+                faults=tuple(
+                    FaultEvent(**ev) for ev in payload["faults"]
+                ),
+            )
         return FuzzCase(
             seed=int(payload["seed"]),
             mode=payload["mode"],
@@ -406,29 +648,25 @@ def fuzz(
     device: Optional[GPUDeviceSpec] = None,
     max_failures: int = 3,
     on_progress: Optional[Callable[[int, FuzzResult], None]] = None,
+    fleet_budget: int = 0,
 ) -> FuzzReport:
-    """Run ``budget`` generated cases; shrink and report any failures.
+    """Run ``budget`` generated cases (plus ``fleet_budget`` fleet
+    cases); shrink and report any failures.
 
     Stops early after ``max_failures`` distinct failures — each shrink
     costs many case executions, and one minimal reproducer per error
-    type is what a human needs.
+    type is what a human needs. Fleet cases draw from a disjoint seed
+    range (``seed + 100_000 + i``) so raising one budget never reshapes
+    the other campaign's cases.
     """
     if budget <= 0:
         raise ValidationError("fuzz budget must be positive")
-    report = FuzzReport(budget=budget, seed=seed)
+    if fleet_budget < 0:
+        raise ValidationError("fleet budget must be non-negative")
+    report = FuzzReport(budget=budget + fleet_budget, seed=seed)
     seen_errors: set = set()
-    for i in range(budget):
-        case = generate_case(seed + i, plant=plant)
-        result = run_case(case, device=device)
-        report.cases_run += 1
-        if on_progress is not None:
-            on_progress(i, result)
-        if result.ok:
-            continue
-        key = (result.error_type, result.case.mode, result.case.policy)
-        if key in seen_errors:
-            continue  # one reproducer per (error, mode, policy) shape
-        seen_errors.add(key)
+
+    def record_failure(case, result) -> None:
         minimal, steps = shrink(case, device=device)
         final = run_case(minimal, device=device)
         report.failures.append(
@@ -440,6 +678,35 @@ def fuzz(
                 shrink_steps=steps,
             )
         )
+
+    for i in range(budget):
+        case = generate_case(seed + i, plant=plant)
+        result = run_case(case, device=device)
+        report.cases_run += 1
+        if on_progress is not None:
+            on_progress(i, result)
+        if result.ok:
+            continue
+        key = (result.error_type, case.mode, case.policy)
+        if key in seen_errors:
+            continue  # one reproducer per (error, mode, policy) shape
+        seen_errors.add(key)
+        record_failure(case, result)
+        if len(report.failures) >= max_failures:
+            return report
+    for i in range(fleet_budget):
+        case = generate_fleet_case(seed + 100_000 + i)
+        result = run_case(case, device=device)
+        report.cases_run += 1
+        if on_progress is not None:
+            on_progress(budget + i, result)
+        if result.ok:
+            continue
+        key = (result.error_type, case.routing, case.modes)
+        if key in seen_errors:
+            continue  # one reproducer per (error, routing, modes) shape
+        seen_errors.add(key)
+        record_failure(case, result)
         if len(report.failures) >= max_failures:
             break
     return report

@@ -11,6 +11,7 @@ features cannot explain (Figure 7's error source).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -86,7 +87,11 @@ def training_set(
     spec: Optional[GPUDeviceSpec] = None,
 ) -> List[TrainingSample]:
     """The paper's 100 random training inputs for one kernel."""
-    rng = random.Random((hash(kspec.name) & 0xFFFF) * 7919 + seed)
+    # crc32, not hash(): str hash varies with PYTHONHASHSEED across
+    # processes and would make trained models (and every downstream
+    # schedule) differ run to run
+    name_key = zlib.crc32(kspec.name.encode("utf-8")) & 0xFFFF
+    rng = random.Random(name_key * 7919 + seed)
     device = spec or tesla_k40()
     samples = []
     for i in range(n):

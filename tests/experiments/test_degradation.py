@@ -1,0 +1,95 @@
+"""Reduced-size run of the graceful-degradation (fault) sweep."""
+
+import json
+
+import pytest
+
+from repro.errors import FleetError
+from repro.experiments import EXPERIMENTS, degradation
+from repro.experiments.fleet import fleet_once
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "degradation" in EXPERIMENTS
+        assert EXPERIMENTS["degradation"] is degradation
+        assert callable(degradation.run)
+
+
+class TestLevelPlans:
+    def test_level_escalation_is_cumulative(self):
+        one = degradation.level_plan("crash-1", 1_000.0)
+        three = degradation.level_plan("crash-3", 1_000.0)
+        assert len(one) == 1 and len(three) == 3
+        assert {ev.kind for ev in three} == {"crash"}
+        assert [ev.node for ev in three] == list(degradation.CRASH_ORDER)
+        ats = [ev.at_us for ev in three]
+        assert ats == sorted(ats)
+
+    def test_none_level_is_empty(self):
+        assert not degradation.level_plan("none", 1_000.0)
+
+    def test_drain_level_is_planned_not_crashed(self):
+        plan = degradation.level_plan("drain-1", 1_000.0)
+        assert len(plan) == 1
+        (ev,) = plan
+        assert ev.kind == "drain"
+        assert ev.node == degradation.CRASH_ORDER[0]
+        assert ev.deadline_us > 0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown degradation level"):
+            degradation.level_plan("crash-9", 1_000.0)
+
+
+class TestSmallSweep:
+    @pytest.fixture(scope="class")
+    def report(self, suite):
+        return degradation.run(device=suite.device, scale=0.05)
+
+    def test_shape(self, report):
+        # 5 levels x 2 routings
+        assert len(report.rows) == 10
+        for row in report.rows:
+            assert row["level"] in degradation.LEVELS
+            assert row["routing"] in degradation.ROUTINGS
+            # conservation held in every cell (run() raises otherwise)
+            assert (
+                row["completed"] + row["shed"] + row["lost"]
+                == row["requests"]
+            )
+
+    def test_crashes_lose_drains_do_not(self, report):
+        by = {(r["level"], r["routing"]): r for r in report.rows}
+        assert by[("drain-1", "deadline")]["lost"] == 0
+        assert by[("none", "deadline")]["lost"] == 0
+        # the acceptance shape: the deepest failure level actually
+        # loses in-flight work (crashes are not free)
+        assert by[("crash-3", "deadline")]["lost"] > 0
+
+    def test_headline_shape_claims(self, report):
+        h = report.headline
+        assert h["monotone_degradation_deadline"] == 1.0
+        assert h["monotone_degradation_round_robin"] == 1.0
+        assert h["deadline_minus_rr_attainment_crash_2"] > 0.0
+        assert h["lost_drain_1_deadline"] == 0.0
+        assert (
+            h["attainment_crash_3_deadline"]
+            < h["attainment_none_deadline"]
+        )
+
+    def test_degradation_cells_deterministic(self, suite):
+        def doc():
+            rollup = fleet_once(
+                degradation.MODES, "deadline", 2.0, 60.0,
+                device=suite.device,
+                faults=degradation.level_plan("crash-2", 60.0),
+            )
+            return json.dumps(rollup.as_dict(), sort_keys=True, default=str)
+
+        assert doc() == doc()
+
+    def test_plan_rejects_bad_fleet(self):
+        plan = degradation.level_plan("crash-3", 1_000.0)
+        with pytest.raises(FleetError, match="only 2 node"):
+            fleet_once(("mps", "mps"), "deadline", 1.0, 50.0, faults=plan)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import FleetError
-from repro.fleet import FleetNode, NodeConfig, NodeRequest
+from repro.fleet import FleetNode, LeastLoadedRouter, NodeConfig, NodeRequest
 from repro.serving import Tenant, TenantSet
 
 
@@ -102,6 +102,50 @@ class TestDispatchWindow:
         assert node.backlog_for(1) == pytest.approx(700.0)
 
 
+class TestPreemptiveDispatch:
+    """A window full of lower-priority work must not convoy a
+    higher-priority request on a preemption-capable node: the request
+    bypasses the window and the backend preempts (the FLEP property,
+    surfaced at the dispatch layer). On MPS the window is a hard cap —
+    there is no preemption to hand the request to."""
+
+    def test_higher_priority_bypasses_full_flep_window(self, suite):
+        node = make_node(suite, max_inflight=1)
+        batch = make_req(node, 1, "batch")
+        node.enqueue(batch)
+        web = make_req(node, 2, "web")
+        node.enqueue(web)
+        assert batch.state == "dispatched"
+        assert web.state == "dispatched"      # bypassed the full window
+        assert len(node.inflight) == 2
+
+    def test_equal_priority_still_queues(self, suite):
+        node = make_node(suite, max_inflight=1)
+        reqs = [make_req(node, i, "batch") for i in range(1, 3)]
+        for r in reqs:
+            node.enqueue(r)
+        assert reqs[1].state == "queued"
+
+    def test_mps_window_is_a_hard_cap(self, suite):
+        node = make_node(suite, mode="mps", max_inflight=1)
+        node.enqueue(make_req(node, 1, "batch"))
+        web = make_req(node, 2, "web")
+        node.enqueue(web)
+        assert web.state == "queued"
+        node.drain()
+        assert web.state == "done"
+
+    def test_bypassed_request_completes_and_accounts(self, suite):
+        node = make_node(suite, max_inflight=1)
+        node.enqueue(make_req(node, 1, "batch", predicted=4_000.0))
+        web = make_req(node, 2, "web", predicted=300.0)
+        node.enqueue(web)
+        node.drain()
+        assert web.state == "done"
+        assert node.stats.completed == 2
+        assert node.load_us() == pytest.approx(0.0)
+
+
 class TestStealAPI:
     def test_take_only_queued(self, suite):
         node = make_node(suite, max_inflight=1)
@@ -183,3 +227,64 @@ class TestAdmission:
         node.drain()
         assert r.state == "done"
         assert node.tracker.requests[-1].delayed
+
+
+def held_node(suite):
+    """A node holding one admission-delayed (``held``) 2000 µs request
+    behind one dispatched 4000 µs request (the TestAdmission recipe)."""
+    node = make_node(suite, mode="flep-spatial", admission=True,
+                     max_inflight=1)
+    node.enqueue(make_req(node, 1, "web", predicted=4_000.0))
+    held = make_req(node, 2, "web", predicted=2_000.0)
+    node.enqueue(held)
+    assert held.state == "held"
+    return node, held
+
+
+class TestHeldBacklog:
+    """Regression: admission-delayed (``held``) requests are committed
+    work — they must be visible to ``load_us`` / ``backlog_for`` so
+    load-aware routing and the work stealer do not treat a node drowning
+    in delayed work as idle."""
+
+    def test_held_work_counts_in_load_and_backlog(self, suite):
+        node, _ = held_node(suite)
+        assert node.held_us() == pytest.approx(2_000.0)
+        assert node.load_us() == pytest.approx(6_000.0)
+        assert node.backlog_for(1) == pytest.approx(6_000.0)
+        node.drain()
+        assert node.load_us() == pytest.approx(0.0)
+        assert not node.held
+
+    def test_held_work_pins_the_routing_decision(self, suite):
+        # node 0 carries 6000us of work but 2000us of it is *held*;
+        # node 1 carries 4000us dispatched. Before the fix node 0
+        # appeared to hold only 4000us and least-loaded tied toward
+        # index 0 — the held request must tip the decision to node 1.
+        node0, _ = held_node(suite)
+        node1 = make_node(suite, mode="flep-spatial", admission=True,
+                          max_inflight=1)
+        node1.index = 1
+        node1.enqueue(make_req(node1, 3, "web", predicted=4_000.0))
+        assert node0.load_us() > node1.load_us()
+        probe = make_req(node1, 4, "web", predicted=100.0)
+        assert LeastLoadedRouter().choose(probe, [node0, node1], 0.0) == 1
+
+    def test_drain_fence_sheds_held_work(self, suite):
+        node, held = held_node(suite)
+        node.begin_drain(now=0.0, deadline_us=10.0)
+        shed = node.finish_drain()
+        assert held in shed
+        assert held.state == "shed" and held.shed_cause == "drain"
+        # the delay timer still fires inside the backend sim — it must
+        # find the held table empty and do nothing (stale-timer rule)
+        node.drain()
+        assert held.state == "shed"
+        assert node.stats.completed == 1  # only the dispatched request
+
+    def test_crash_reclaims_held_work(self, suite):
+        node, held = held_node(suite)
+        reclaimed, lost = node.crash(now=10.0)
+        assert held in reclaimed
+        assert held.state == "routed" and held.node is None
+        assert [r.req_id for r in lost] == [1]

@@ -1,9 +1,13 @@
 """Workload-fuzzer tests: deterministic generation, shrinking, replay
-tokens, and the planted-defect acceptance path."""
+tokens, and the planted-defect acceptance path — for both single-GPU
+and fleet cases."""
+
+import dataclasses
 
 import pytest
 
 from repro.errors import ValidationError
+from repro.fleet import FaultPlan
 from repro.validate import (
     decode_case,
     encode_case,
@@ -12,7 +16,15 @@ from repro.validate import (
     run_case,
     shrink,
 )
-from repro.validate.fuzz import _INPUTS, _POLICIES, MODES
+from repro.validate.fuzz import (
+    _FLEET_ROUTINGS,
+    _INPUTS,
+    _POLICIES,
+    MODES,
+    FleetFuzzCase,
+    _fleet_candidates,
+    generate_fleet_case,
+)
 
 
 class TestGeneration:
@@ -122,3 +134,121 @@ class TestCampaign:
         seen = []
         fuzz(budget=3, seed=0, on_progress=lambda i, r: seen.append(i))
         assert seen == [0, 1, 2]
+
+
+class TestFleetGeneration:
+    def test_same_seed_same_case(self):
+        assert generate_fleet_case(7) == generate_fleet_case(7)
+
+    def test_fields_stay_in_domain(self):
+        for seed in range(50):
+            case = generate_fleet_case(seed)
+            assert 2 <= len(case.modes) <= 3
+            assert all(m in MODES for m in case.modes)
+            assert case.routing in _FLEET_ROUTINGS
+            assert 3 <= len(case.jobs) <= 8
+            for job in case.jobs:
+                assert job.input_name in _INPUTS
+                assert 0 <= job.priority <= 2
+            # the fault tuple always forms a valid plan on these nodes
+            FaultPlan(case.faults).check_nodes(len(case.modes))
+
+    def test_seeds_cover_every_fault_kind(self):
+        kinds = set()
+        for seed in range(100):
+            for ev in generate_fleet_case(seed).faults:
+                kinds.add(ev.kind)
+        assert {"crash", "drain", "stall", "rejoin"} <= kinds
+
+
+class TestFleetReplayTokens:
+    def test_roundtrip_is_identity(self):
+        for seed in range(30):
+            case = generate_fleet_case(seed)
+            token = encode_case(case)
+            assert token.startswith("f")
+            assert decode_case(token) == case
+
+    def test_fleet_tokens_are_shell_safe(self):
+        token = encode_case(generate_fleet_case(42))
+        assert all(ch.isalnum() or ch in "-_" for ch in token)
+
+    def test_malformed_fleet_token_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_case("fnot-a-real-token")
+
+
+class TestFleetRunCase:
+    def test_clean_case_passes_monitors_and_conservation(self):
+        # seed 42 injects a crash + rejoin (pinned by TestFleetGeneration
+        # determinism), so this exercises the fault path too
+        case = generate_fleet_case(42)
+        assert any(ev.kind == "crash" for ev in case.faults)
+        result = run_case(case)
+        assert result.ok, result.error
+        assert result.checks == ["fleet-monitors", "conservation"]
+
+    def test_small_fleet_campaign_is_clean(self):
+        report = fuzz(budget=1, seed=0, fleet_budget=6)
+        assert report.ok, report.format()
+        assert report.cases_run == 7
+        assert report.budget == 7
+
+
+class TestFleetShrink:
+    def test_candidates_are_all_valid_cases(self):
+        for seed in (3, 17, 42):
+            case = generate_fleet_case(seed)
+            for cand in _fleet_candidates(case):
+                FaultPlan(cand.faults).check_nodes(len(cand.modes))
+                assert cand != case
+
+    def test_candidates_offer_fault_and_steal_simplification(self):
+        case = generate_fleet_case(42)   # crash+rejoin, steal on
+        cands = _fleet_candidates(case)
+        assert any(c.faults == () for c in cands)
+        assert any(not c.steal for c in cands)
+        assert any(c.routing == "round-robin" for c in cands)
+
+    def test_rejoin_never_orphaned_by_event_drop(self):
+        case = generate_fleet_case(42)
+        assert [ev.kind for ev in case.faults] == ["crash", "rejoin"]
+        for cand in _fleet_candidates(case):
+            kinds = [ev.kind for ev in cand.faults]
+            if "rejoin" in kinds:
+                assert "crash" in kinds
+
+    def test_shrink_walks_a_failing_fleet_case_down(self):
+        # a synthetic failure predicate ("fails while it still has a
+        # fault or more than one job") exercises the generic shrinker on
+        # fleet candidates without needing a real defect in the tree
+        case = generate_fleet_case(42)
+
+        def still_fails(c):
+            return bool(c.faults) or len(c.jobs) > 1
+
+        # shrink() baselines via run_case, which passes here — drive the
+        # greedy loop directly through its candidate generator instead
+        steps = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for cand in _fleet_candidates(case):
+                if still_fails(cand):
+                    case, steps, progressed = cand, steps + 1, True
+                    break
+        assert steps > 0
+        # fixed point: faults gone, two jobs (one would pass), every
+        # field walked down its simplification ladder
+        assert case.faults == ()
+        assert len(case.jobs) == 2
+        assert all(
+            j.kernel == "VA" and j.input_name == "trivial"
+            and j.priority == 0 and j.arrival_us == 0.0
+            for j in case.jobs
+        )
+        assert not case.steal
+        assert case.routing == "round-robin"
+        assert all(m == "mps" for m in case.modes)
+        assert isinstance(case, FleetFuzzCase)
+        assert dataclasses.replace(case) == case  # still a frozen case

@@ -37,6 +37,7 @@ def _cmd_run(args) -> int:
     import json
 
     from .experiments import EXPERIMENTS
+    from .gpu.trace import collected_schedule_hashes, combined_schedule_hash
     from .obs import SimProfiler, profiled
 
     names: List[str] = args.experiments
@@ -51,11 +52,17 @@ def _cmd_run(args) -> int:
     for name in names:
         started = time.time()
         prof = SimProfiler()
-        with profiled(prof):
+        with collected_schedule_hashes() as scheds, profiled(prof):
             report = EXPERIMENTS[name].run()
         engine = prof.engine_block()
         if args.json:
-            as_json.append({**report.as_dict(), "engine": engine})
+            as_json.append({
+                **report.as_dict(),
+                "engine": engine,
+                "schedule_hash": combined_schedule_hash(
+                    [s.hexdigest for s in scheds]
+                ),
+            })
         else:
             print(report.format())
             print(f"[{name} regenerated in {time.time() - started:.1f}s: "
@@ -164,6 +171,7 @@ def _cmd_stats(args) -> int:
 def _cmd_serve(args) -> int:
     import json as _json
 
+    from .gpu.trace import collected_schedule_hashes, combined_schedule_hash
     from .obs import Observability, SimProfiler, profiled
     from .serving import (
         PoissonLoadGen,
@@ -188,7 +196,7 @@ def _cmd_serve(args) -> int:
             ),
         ])
         prof = SimProfiler()
-        with profiled(prof):
+        with collected_schedule_hashes() as scheds, profiled(prof):
             server = ServingSystem(
                 tenants,
                 ServingConfig(
@@ -212,6 +220,9 @@ def _cmd_serve(args) -> int:
             as_json.append({
                 "mode": mode, **report.as_dict(),
                 "engine": prof.engine_block(),
+                "schedule_hash": combined_schedule_hash(
+                    [s.hexdigest for s in scheds]
+                ),
             })
         else:
             print(f"=== {mode} (policy={args.policy}, "
@@ -251,6 +262,7 @@ def _cmd_fleet(args) -> int:
     import json as _json
 
     from .fleet import FleetConfig, FleetSystem, parse_fault_spec, random_plan
+    from .gpu.trace import collected_schedule_hashes, combined_schedule_hash
     from .serving import PoissonLoadGen
     from .validate import install_monitors
 
@@ -275,39 +287,45 @@ def _cmd_fleet(args) -> int:
             args.fault_seed, args.gpus, args.duration * 1000.0,
         )
     tenants = _build_fleet_tenants(args.tenants, args.slo)
-    fleet = FleetSystem(
-        tenants,
-        FleetConfig(
-            node_modes=node_modes,
-            node_devices=node_devices,
-            routing=args.routing,
-            policy=args.policy,
-            seed=args.seed,
-            max_inflight=args.max_inflight,
-            steal=not args.no_steal,
-            steal_interval_us=args.steal_interval,
-            steal_threshold_us=args.steal_threshold,
-            faults=faults,
-            queue=args.queue,
-        ),
-    )
-    bundle = install_monitors(fleet, require_complete=True)
-    kernels = args.kernels.split(",")
-    for i, t in enumerate(tenants):
-        fleet.add_generator(PoissonLoadGen(
-            tenant=t.name,
-            kernels=kernels,
-            rate_per_ms=args.rate,
-            duration_ms=args.duration,
-            seed=args.seed + i,
-            input_names=(args.input,),
-            priority=t.priority,
-        ))
-    report = fleet.run()
+    # the window spans construction AND run: fault rejoins build fresh
+    # node devices mid-run, and their digests belong in the rollup too
+    with collected_schedule_hashes() as scheds:
+        fleet = FleetSystem(
+            tenants,
+            FleetConfig(
+                node_modes=node_modes,
+                node_devices=node_devices,
+                routing=args.routing,
+                policy=args.policy,
+                seed=args.seed,
+                max_inflight=args.max_inflight,
+                steal=not args.no_steal,
+                steal_interval_us=args.steal_interval,
+                steal_threshold_us=args.steal_threshold,
+                faults=faults,
+                queue=args.queue,
+            ),
+        )
+        bundle = install_monitors(fleet, require_complete=True)
+        kernels = args.kernels.split(",")
+        for i, t in enumerate(tenants):
+            fleet.add_generator(PoissonLoadGen(
+                tenant=t.name,
+                kernels=kernels,
+                rate_per_ms=args.rate,
+                duration_ms=args.duration,
+                seed=args.seed + i,
+                input_names=(args.input,),
+                priority=t.priority,
+            ))
+        report = fleet.run()
     bundle.finalize()
     if args.json:
         print(_json.dumps({
             "schema": "flep-fleet/1",
+            "schedule_hash": combined_schedule_hash(
+                [s.hexdigest for s in scheds]
+            ),
             "config": {
                 "gpus": args.gpus,
                 "node_modes": node_modes,
@@ -369,10 +387,10 @@ def _cmd_bench(args) -> int:
     print()
     print(cmp.format())
     if args.fail_on_drift and cmp.drifts:
-        # event-count drift is deterministic (never runner noise), so it
-        # hard-fails even under --warn-only
+        # schedule-hash drift is deterministic (never runner noise), so
+        # it hard-fails even under --warn-only
         names = ", ".join(r["scenario"] for r in cmp.drifts)
-        print(f"event-count drift in: {names}", file=sys.stderr)
+        print(f"schedule-hash drift in: {names}", file=sys.stderr)
         return 3
     if not cmp.ok and not args.warn_only:
         return 3
@@ -514,9 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--warn-only", action="store_true",
                          help="report regressions but exit 0 (CI smoke)")
     bench_p.add_argument("--fail-on-drift", action="store_true",
-                         help="exit 3 when any scenario's deterministic "
-                              "event count differs from the baseline, "
-                              "even with --warn-only")
+                         help="exit 3 when any scenario's schedule_hash "
+                              "differs from the baseline's (a kernel-level "
+                              "timeline change), even with --warn-only")
     bench_p.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of a table")
     bench_p.set_defaults(fn=_cmd_bench)

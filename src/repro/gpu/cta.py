@@ -124,7 +124,7 @@ class CTAContext:
         if self._started:
             raise SchedulingError(f"context {self!r} started twice")
         self._started = True
-        self.grid.pool.worker_joined()
+        self.grid.pool.worker_joined(self.grid)
         self._begin_next_batch()
 
     # ------------------------------------------------------------------
@@ -200,6 +200,18 @@ class CTAContext:
         remaining = pool._remaining
         if remaining <= 0:
             self._finish(now)
+            return
+        # Macro fast-forward: in steady state (flags steady, every pool
+        # worker accounted for) the whole remaining batch chain is
+        # precomputed and this context's claim is absorbed into the
+        # cohort — see repro.gpu.macro. Non-persistent chains qualify
+        # too: no polls, no flag response, same guided claims.
+        if (
+            sim.macro_events
+            and grid._macro is None
+            and not sim.use_reference_loop
+            and grid.try_macro(self, now)
+        ):
             return
         # plan lookup inlined from Grid.next_batch_size (memo-hit path)
         width = grid._parallel_width
@@ -433,7 +445,7 @@ class CTAContext:
     # ------------------------------------------------------------------
     def _teardown_events(self) -> None:
         if self._started:
-            self.grid.pool.worker_left()
+            self.grid.pool.worker_left(self.grid)
             self._started = False
         maybe_cancel(self._completion)
         maybe_cancel(self._yield_event)

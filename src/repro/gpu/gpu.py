@@ -22,7 +22,8 @@ from .grid import Grid, GridState
 from .kernel import KernelImage, LaunchConfig, TaskPool
 from .memory import DeviceMemory, PinnedFlag
 from .sim import Simulator
-from .sm import SM
+from .sm import SM, SMBank
+from .trace import ScheduleHash, _maybe_collect_sched, _maybe_collect_timeline
 
 
 class SimulatedGPU:
@@ -36,7 +37,12 @@ class SimulatedGPU:
     ):
         self.sim = sim
         self.spec = spec if spec is not None else tesla_k40()
-        self.sms: List[SM] = [SM(i, self.spec) for i in range(self.spec.num_sms)]
+        #: flat array-of-int occupancy, one entry per SM — what the
+        #: admission scan walks (repro.gpu.sm.SMBank)
+        self.bank = SMBank(self.spec, self.spec.num_sms)
+        self.sms: List[SM] = [
+            SM(i, self.spec, self.bank) for i in range(self.spec.num_sms)
+        ]
         self.memory = DeviceMemory(self.spec.device_memory_bytes)
         self.rng = random.Random(seed) if seed is not None else None
         self._queue: List[Grid] = []
@@ -44,8 +50,12 @@ class SimulatedGPU:
         self._dispatch_again = False
         self.launch_count = 0
         self.completed_grids: List[Grid] = []
-        #: optional Timeline recorder (repro.gpu.trace)
-        self.tracer = None
+        #: optional Timeline recorder (repro.gpu.trace); auto-attached
+        #: inside a collected_timelines() window (golden-trace tests)
+        self.tracer = _maybe_collect_timeline()
+        #: always-on O(1)-memory schedule digest (identity contract)
+        self.sched = ScheduleHash()
+        _maybe_collect_sched(self.sched)
         self._obs: Observability = NULL_OBS
         self._prof: SimProfiler = NULL_PROFILER
 
@@ -157,28 +167,37 @@ class SimulatedGPU:
         preempting kernel on the SMs spatial preemption just freed.
 
         The CTA footprint was resolved once at grid construction, so
-        every SM is screened with plain integer comparisons.
+        the scan is pure integer compares over the bank's flat arrays —
+        no SM objects touched until one wins.
         """
         threads, warps, regs, smem = grid._footprint
-        best: Optional[SM] = None
+        bank = self.bank
+        free_l = bank.free
+        th_l, wp_l, rg_l, sh_l = bank.threads, bank.warps, bank.regs, bank.smem
+        max_th = bank.max_threads - threads
+        max_wp = bank.max_warps - warps
+        max_rg = bank.max_regs - regs
+        max_sh = bank.max_smem - smem
+        max_ctas = bank.max_ctas
+        best = -1
         best_free = 0
-        for sm in self.sms:
-            free = sm._max_ctas - len(sm.resident)
+        for i in range(bank.n):
+            free = free_l[i]
             if free <= best_free:
                 # cannot beat the current best (or has no free slot)
                 continue
             if (
-                sm.used_threads + threads <= sm._max_threads
-                and sm.used_warps + warps <= sm._max_warps
-                and sm.used_regs + regs <= sm._max_regs
-                and sm.used_smem + smem <= sm._max_smem
+                th_l[i] <= max_th
+                and wp_l[i] <= max_wp
+                and rg_l[i] <= max_rg
+                and sh_l[i] <= max_sh
             ):
-                best = sm
+                best = i
                 best_free = free
-                if free == sm._max_ctas:
+                if free == max_ctas:
                     # an empty SM cannot be beaten (ties keep lowest id)
                     break
-        return best
+        return None if best < 0 else self.sms[best]
 
     def _dispatch(self) -> None:
         if self._dispatching:
@@ -187,12 +206,18 @@ class SimulatedGPU:
         self._dispatching = True
         try:
             progressed = True
+            queue = self._queue
             while progressed:
                 progressed = False
                 self._dispatch_again = False
-                for grid in list(self._queue):
+                # walk the FIFO in place (it can be hundreds of grids
+                # deep under load, and the head usually blocks at once —
+                # snapshotting it per dispatch would dominate retires)
+                i = 0
+                while i < len(queue):
+                    grid = queue[i]
                     if grid._terminal:
-                        self._queue.remove(grid)
+                        del queue[i]
                         continue
                     fp = grid._footprint
                     while grid.wants_dispatch():
@@ -210,6 +235,9 @@ class SimulatedGPU:
                     if grid.blocks_queue:
                         # head-of-line blocking: later grids must wait
                         break
+                    # a placement may have re-entered _dispatch and
+                    # mutated the queue; never walk past its new length
+                    i += 1
                 if self._dispatch_again:
                     progressed = True
         finally:
@@ -217,8 +245,13 @@ class SimulatedGPU:
 
     # -- grid callbacks --------------------------------------------------
     def on_context_released(self, ctx=None) -> None:
-        if self.tracer is not None and ctx is not None:
-            self.tracer.context_retired(ctx, self.sim.now)
+        if ctx is not None:
+            now = self.sim.now
+            self.sched.fold(
+                ctx.grid.kernel.name, ctx.sm.sm_id, ctx.started_at, now
+            )
+            if self.tracer is not None:
+                self.tracer.context_retired(ctx, now)
         self._dispatch()
 
     def on_grid_terminal(self, grid: Grid) -> None:

@@ -29,6 +29,7 @@ from .kernel import (
     LaunchConfig,
     TaskPool,
 )
+from .macro import MacroCohort
 from .memory import PinnedFlag, should_yield
 from .occupancy import max_ctas_per_sm
 from .sim import Simulator
@@ -110,6 +111,8 @@ class Grid:
             self._parallel_width = max(1, min(capacity, self.pool.total))
         #: memoized batch-size plans: (remaining, width) -> batch size
         self._batch_plans = {}
+        #: active macro-event cohort (repro.gpu.macro), if any
+        self._macro: Optional[MacroCohort] = None
 
         if self.flag is not None and self._persistent:
             self.flag.watch(self._on_flag_write)
@@ -122,15 +125,23 @@ class Grid:
         """CTAs launched but not yet hosted on an SM."""
         if self._terminal:
             return 0
+        # the *synced* remaining: a partially-placed grid may be inside
+        # a macro cohort whose claims commit lazily, and the dispatcher
+        # must see exactly what the per-batch reference loop would.
+        # (Inlined sync check — this runs per grid per dispatch scan.)
+        pool = self.pool
+        c = pool._cohort
+        if c is not None:
+            c.sync(c.sim.clock._now)
         if self._persistent:
             remaining = self.config.grid_ctas - self._placed
             # don't place more workers than tasks left to claim
-            tasks = self.pool._remaining
+            tasks = pool._remaining
             if remaining > tasks:
                 remaining = tasks
             return remaining if remaining > 0 else 0
         # original: one CTA per task still waiting in the hardware queue
-        return self.pool._remaining
+        return pool._remaining
 
     @property
     def blocks_queue(self) -> bool:
@@ -242,6 +253,61 @@ class Grid:
         self._batch_plans[key] = size
         return size
 
+    def try_macro(self, trigger: CTAContext, now: float) -> bool:
+        """Absorb the pool's batch chain into a macro-event cohort if it
+        is in steady state (see :mod:`repro.gpu.macro`): every grid
+        draining the pool persistent, every flag steady (no demanding
+        write in flight, and the visible value yields no live context),
+        and every pool worker accounted for by those grids. Returns True
+        iff ``trigger``'s claim was taken over by the cohort.
+
+        A partially-placed grid may absorb: a later CTA placement joins
+        the pool and dissolves the cohort *before* its first claim, so
+        the interleaving is unchanged. Inside a dispatch burst, though,
+        a partially-placed pool is rejected — each placement's start
+        would absorb the cohort only for the burst's next placement to
+        dissolve it, O(n²) churn for a plan that commits nothing. Once
+        every pool grid is fully placed no same-pool join can follow in
+        the burst, so the last placement's own start may absorb."""
+        device = self.device
+        dispatching = device is not None and device._dispatching
+        pool = self.pool
+        if pool._cohort is not None:
+            return False
+        total = 0
+        for g, cnt in pool._grids.items():
+            if len(g.contexts) != cnt:
+                return False
+            if dispatching and g._placed < g.config.grid_ctas:
+                return False
+            total += cnt
+            if not g._persistent:
+                # non-persistent contexts never poll and never yield —
+                # their chain is trivially steady (a flag write would
+                # still dissolve the cohort, harmlessly)
+                continue
+            flag = g.flag
+            if flag is not None and flag._demanding:
+                last = flag._history[-1]
+                if last[0] > now:
+                    return False
+                value = last[1]
+                if value != 0:
+                    # A visible, steady non-zero value is inert when
+                    # every live context survives it (spatial:
+                    # sm_id >= value). Survivors poll, observe, and keep
+                    # claiming — exactly the chain the cohort
+                    # precomputes: the newest write shadows older ones
+                    # at every future poll, so replan is a no-op, and
+                    # any later write dissolves the cohort before it
+                    # becomes visible.
+                    for ctx in g.contexts:
+                        if should_yield(ctx.sm.sm_id, value, ctx._spatial):
+                            return False
+        if total != pool._workers:
+            return False
+        return MacroCohort.absorb(self, trigger, now)
+
     def notify_progress(self) -> None:
         """Called by contexts when tasks complete (hook for the runtime)."""
 
@@ -267,6 +333,11 @@ class Grid:
     def _on_flag_write(self, visible_at: float, value: int) -> None:
         if self.is_terminal:
             return
+        # a macro cohort cannot span a flag write: return to per-batch
+        # eventing *now* — strictly before the write's visibility — so
+        # every poll boundary the reference loop observes still happens
+        if self._macro is not None:
+            self._macro.dissolve(self.sim.clock._now)
         if value > 0 and self.preempt_requested_at is None:
             self.preempt_requested_at = self.sim.now
         # replan in ctx-id order: `contexts` is a set whose iteration
@@ -323,6 +394,8 @@ class Grid:
                 )
 
     def _finish(self, state: GridState) -> None:
+        if self._macro is not None:
+            self._macro.dissolve(self.sim.clock._now)
         self.state = state
         self._terminal = True
         self.ended_at = self.sim.now

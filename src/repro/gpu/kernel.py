@@ -155,7 +155,10 @@ class TaskPool:
     how a preempted kernel resumes with only its remaining tasks.
     """
 
-    __slots__ = ("total", "_remaining", "_outstanding", "_done", "_workers")
+    __slots__ = (
+        "total", "_remaining", "_outstanding", "_done", "_workers",
+        "_grids", "_cohort",
+    )
 
     def __init__(self, total: int):
         if total < 0:
@@ -165,34 +168,54 @@ class TaskPool:
         self._outstanding = 0
         self._done = 0
         self._workers = 0
+        #: grid -> live worker count; lets a macro cohort enumerate
+        #: every grid draining this pool (resume / top-up sharing)
+        self._grids: dict = {}
+        #: active macro-event cohort draining this pool, if any
+        #: (repro.gpu.macro). The cohort commits its precomputed steps
+        #: lazily; the public properties below sync it first so every
+        #: external observer sees exactly the state the per-batch
+        #: reference loop would show at this simulated time.
+        self._cohort = None
+
+    def _sync_cohort(self) -> None:
+        c = self._cohort
+        if c is not None:
+            c.sync(c.sim.clock._now)
 
     # -- queries -------------------------------------------------------
     @property
     def remaining(self) -> int:
         """Tasks not yet claimed by any CTA context."""
+        self._sync_cohort()
         return self._remaining
 
     @property
     def outstanding(self) -> int:
         """Tasks claimed by running contexts but not yet finished."""
+        self._sync_cohort()
         return self._outstanding
 
     @property
     def done(self) -> int:
+        self._sync_cohort()
         return self._done
 
     @property
     def unfinished(self) -> int:
         """Tasks that still must run for the kernel to complete."""
+        self._sync_cohort()
         return self._remaining + self._outstanding
 
     @property
     def exhausted(self) -> bool:
         """True when ``pull_task()`` would return NULL (Figure 4)."""
+        self._sync_cohort()
         return self._remaining == 0
 
     @property
     def complete(self) -> bool:
+        self._sync_cohort()
         return self._done == self.total
 
     @property
@@ -203,17 +226,34 @@ class TaskPool:
         single grid's width, or late-joining grids over-claim."""
         return self._workers
 
-    def worker_joined(self) -> None:
+    def worker_joined(self, grid=None) -> None:
+        # a foreign worker (resume / top-up grid sharing this pool)
+        # invalidates a cohort's precomputed widths: fall back to
+        # per-batch eventing before the join is visible
+        c = self._cohort
+        if c is not None:
+            c.dissolve(c.sim.clock._now)
         self._workers += 1
+        if grid is not None:
+            self._grids[grid] = self._grids.get(grid, 0) + 1
 
-    def worker_left(self) -> None:
+    def worker_left(self, grid=None) -> None:
         if self._workers <= 0:
             raise SimulationError("worker_left() without matching join")
         self._workers -= 1
+        if grid is not None:
+            left = self._grids.get(grid, 0) - 1
+            if left > 0:
+                self._grids[grid] = left
+            else:
+                self._grids.pop(grid, None)
 
     # -- mutations -----------------------------------------------------
     def take(self, n: int) -> int:
         """Claim up to ``n`` tasks; returns how many were claimed."""
+        c = self._cohort
+        if c is not None:
+            c.dissolve(c.sim.clock._now)
         if n < 0:
             raise SimulationError("cannot take a negative batch")
         got = min(n, self._remaining)
@@ -223,6 +263,9 @@ class TaskPool:
 
     def finish(self, n: int) -> None:
         """Report ``n`` claimed tasks as processed."""
+        c = self._cohort
+        if c is not None:
+            c.dissolve(c.sim.clock._now)
         if n < 0 or n > self._outstanding:
             raise SimulationError(
                 f"finishing {n} tasks but only {self._outstanding} outstanding"
@@ -232,6 +275,9 @@ class TaskPool:
 
     def give_back(self, n: int) -> None:
         """Return ``n`` claimed-but-unprocessed tasks (preemption path)."""
+        c = self._cohort
+        if c is not None:
+            c.dissolve(c.sim.clock._now)
         if n < 0 or n > self._outstanding:
             raise SimulationError(
                 f"giving back {n} tasks but only {self._outstanding} outstanding"

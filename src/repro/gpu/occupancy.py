@@ -29,6 +29,35 @@ def ceil_to(value: int, granularity: int) -> int:
     return int(math.ceil(value / granularity)) * granularity
 
 
+#: (warps, regs, smem) per CTA, cached per (usage, spec) — both are
+#: frozen/hashable, and a workload uses a handful of distinct pairs.
+_FOOTPRINTS: Dict[Tuple[ResourceUsage, GPUDeviceSpec], Tuple[int, int, int]] = {}
+
+
+def cta_footprint(
+    usage: ResourceUsage, spec: GPUDeviceSpec
+) -> Tuple[int, int, int]:
+    """Rounded ``(warps, regs, smem)`` one CTA of ``usage`` charges on an
+    SM of ``spec``. Memoized: admit *and* release of every CTA ask for
+    the same few footprints — and :func:`occupancy_report` derives its
+    per-CTA numbers from the same entry, so reported occupancy can never
+    drift from the admission screen's arithmetic."""
+    key = (usage, spec)
+    fp = _FOOTPRINTS.get(key)
+    if fp is None:
+        warps = -(-usage.threads_per_cta // spec.warp_size)
+        regs = (
+            ceil_to(
+                usage.regs_per_thread * spec.warp_size,
+                spec.register_alloc_unit,
+            )
+            * warps
+        )
+        smem = ceil_to(usage.shared_mem_per_cta, spec.shared_mem_alloc_unit)
+        fp = _FOOTPRINTS[key] = (warps, regs, smem)
+    return fp
+
+
 @dataclass(frozen=True)
 class OccupancyReport:
     """Breakdown of the per-SM active-CTA limit by constraining resource."""
@@ -99,12 +128,8 @@ def _occupancy_report_uncached(
             f"{spec.shared_mem_per_sm} bytes"
         )
 
-    warps_per_cta = math.ceil(usage.threads_per_cta / spec.warp_size)
-    regs_per_warp = ceil_to(
-        usage.regs_per_thread * spec.warp_size, spec.register_alloc_unit
-    )
-    regs_per_cta = regs_per_warp * warps_per_cta
-    shared_per_cta = ceil_to(usage.shared_mem_per_cta, spec.shared_mem_alloc_unit)
+    # the one shared footprint entry the SM admission screen also uses
+    warps_per_cta, regs_per_cta, shared_per_cta = cta_footprint(usage, spec)
 
     limit_slots = spec.max_ctas_per_sm
     limit_threads = spec.max_threads_per_sm // usage.threads_per_cta

@@ -1,86 +1,101 @@
 """Streaming multiprocessor resource accounting.
 
-An SM tracks the CTA contexts currently resident on it, charging the
-rounded register/shared-memory/thread footprints computed by
-:mod:`repro.gpu.occupancy`. The hardware dispatcher asks SMs whether they
-can host a CTA; spatial preemption uses the SM *id* (the paper reads it
-from the ``%smid`` register) to decide which CTAs must yield.
+An SM tracks the CTA contexts currently resident on it; the resource
+charges themselves live in a flat :class:`SMBank` — parallel int lists
+(free CTA slots, threads, warps, registers, shared memory; one entry per
+SM) owned by the device. The hardware dispatcher's hottest scan
+(:meth:`repro.gpu.gpu.SimulatedGPU._pick_sm`) walks those lists with
+plain integer compares and indexing, no per-SM attribute chasing;
+spatial preemption uses the SM *id* (the paper reads it from the
+``%smid`` register) to decide which CTAs must yield.
 
 Footprints are pure functions of ``(usage, spec)`` — both frozen
-dataclasses — so they are computed once per pair and cached
-process-wide (:func:`cta_footprint`): the dispatcher admits and
-releases thousands of identical CTAs per run, and re-doing the ceil/div
-math each time dominated the admission path. The per-SM counters are
-kept as plain slot attributes (no properties) so the dispatcher's
-``can_host`` scan is five integer comparisons.
+dataclasses — computed once per pair and cached process-wide
+(:func:`repro.gpu.occupancy.cta_footprint`, shared with the occupancy
+calculator so admission and reporting can never disagree): the
+dispatcher admits and releases thousands of identical CTAs per run, and
+re-doing the ceil/div math each time dominated the admission path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import List, Set
 
 from ..errors import ResourceError
 from ..obs.profiler import NULL_PROFILER
 from ..obs.recorder import NULL_OBS
 from .device import GPUDeviceSpec
 from .kernel import ResourceUsage
-from .occupancy import ceil_to
+from .occupancy import cta_footprint
 
-#: (warps, regs, smem) per CTA, cached per (usage, spec) — both are
-#: frozen/hashable, and a workload uses a handful of distinct pairs.
-_FOOTPRINTS: Dict[Tuple[ResourceUsage, GPUDeviceSpec], Tuple[int, int, int]] = {}
+__all__ = ["SM", "SMBank", "cta_footprint"]
 
 
-def cta_footprint(
-    usage: ResourceUsage, spec: GPUDeviceSpec
-) -> Tuple[int, int, int]:
-    """Rounded ``(warps, regs, smem)`` one CTA of ``usage`` charges on an
-    SM of ``spec``. Memoized: admit *and* release of every CTA ask for
-    the same few footprints."""
-    key = (usage, spec)
-    fp = _FOOTPRINTS.get(key)
-    if fp is None:
-        warps = -(-usage.threads_per_cta // spec.warp_size)
-        regs = (
-            ceil_to(
-                usage.regs_per_thread * spec.warp_size,
-                spec.register_alloc_unit,
-            )
-            * warps
-        )
-        smem = ceil_to(usage.shared_mem_per_cta, spec.shared_mem_alloc_unit)
-        fp = _FOOTPRINTS[key] = (warps, regs, smem)
-    return fp
+class SMBank:
+    """Array-of-int occupancy state for all SMs of one device.
+
+    One entry per SM in each parallel list; the limits are scalars (all
+    SMs of a device are identical). The admission scan reads the lists
+    directly; :class:`SM` methods write through to them.
+    """
+
+    __slots__ = (
+        "n", "free", "threads", "warps", "regs", "smem",
+        "max_ctas", "max_threads", "max_warps", "max_regs", "max_smem",
+    )
+
+    def __init__(self, spec: GPUDeviceSpec, n: int):
+        self.n = n
+        self.max_ctas = spec.max_ctas_per_sm
+        self.max_threads = spec.max_threads_per_sm
+        self.max_warps = spec.max_warps_per_sm
+        self.max_regs = spec.registers_per_sm
+        self.max_smem = spec.shared_mem_per_sm
+        #: free CTA slots per SM (``max_ctas - len(resident)``)
+        self.free: List[int] = [self.max_ctas] * n
+        self.threads: List[int] = [0] * n
+        self.warps: List[int] = [0] * n
+        self.regs: List[int] = [0] * n
+        self.smem: List[int] = [0] * n
 
 
 class SM:
-    """One streaming multiprocessor's occupancy state."""
+    """One streaming multiprocessor: its resident set plus a view into
+    the device's :class:`SMBank` slot."""
 
-    __slots__ = (
-        "sm_id", "spec", "resident", "used_threads", "used_warps",
-        "used_regs", "used_smem", "obs", "prof",
-        "_max_ctas", "_max_threads", "_max_warps", "_max_regs", "_max_smem",
-    )
+    __slots__ = ("sm_id", "spec", "resident", "bank", "obs", "prof")
 
-    def __init__(self, sm_id: int, spec: GPUDeviceSpec):
+    def __init__(
+        self, sm_id: int, spec: GPUDeviceSpec, bank: SMBank = None
+    ):
         self.sm_id = sm_id
         self.spec = spec
         self.resident: Set[object] = set()   # CTA contexts (opaque here)
-        self.used_threads = 0
-        self.used_warps = 0
-        self.used_regs = 0
-        self.used_smem = 0
-        # device limits flattened to slots: the can_host scan runs per
-        # (grid, SM) pair on every dispatch round
-        self._max_ctas = spec.max_ctas_per_sm
-        self._max_threads = spec.max_threads_per_sm
-        self._max_warps = spec.max_warps_per_sm
-        self._max_regs = spec.registers_per_sm
-        self._max_smem = spec.shared_mem_per_sm
+        #: shared device-wide occupancy arrays; a standalone SM (unit
+        #: tests) gets a private single-entry bank, indexed by sm_id = 0
+        #: — device-built SMs are indexed by their sm_id
+        self.bank = bank if bank is not None else SMBank(spec, sm_id + 1)
         #: observability recorder; set by the owning device
         self.obs = NULL_OBS
         #: hot-path self-profiler; set by the owning device
         self.prof = NULL_PROFILER
+
+    # -- bank views (diagnostics/monitors; the hot path reads the bank) --
+    @property
+    def used_threads(self) -> int:
+        return self.bank.threads[self.sm_id]
+
+    @property
+    def used_warps(self) -> int:
+        return self.bank.warps[self.sm_id]
+
+    @property
+    def used_regs(self) -> int:
+        return self.bank.regs[self.sm_id]
+
+    @property
+    def used_smem(self) -> int:
+        return self.bank.smem[self.sm_id]
 
     # -- footprint math --------------------------------------------------
     def _footprint(self, usage: ResourceUsage):
@@ -89,23 +104,19 @@ class SM:
     def can_host(self, usage: ResourceUsage) -> bool:
         """Would one more CTA of this footprint fit right now?"""
         warps, regs, smem = cta_footprint(usage, self.spec)
-        return (
-            len(self.resident) < self._max_ctas
-            and self.used_threads + usage.threads_per_cta <= self._max_threads
-            and self.used_warps + warps <= self._max_warps
-            and self.used_regs + regs <= self._max_regs
-            and self.used_smem + smem <= self._max_smem
-        )
+        return self.can_host_fp(usage.threads_per_cta, warps, regs, smem)
 
     def can_host_fp(self, threads: int, warps: int, regs: int, smem: int) -> bool:
-        """``can_host`` with a precomputed footprint — the dispatcher
-        resolves the footprint once per grid, then scans every SM."""
+        """``can_host`` with a precomputed footprint — the same flat-array
+        screen the dispatcher's scan applies, one SM at a time."""
+        bank = self.bank
+        i = self.sm_id
         return (
-            len(self.resident) < self._max_ctas
-            and self.used_threads + threads <= self._max_threads
-            and self.used_warps + warps <= self._max_warps
-            and self.used_regs + regs <= self._max_regs
-            and self.used_smem + smem <= self._max_smem
+            bank.free[i] > 0
+            and bank.threads[i] + threads <= bank.max_threads
+            and bank.warps[i] + warps <= bank.max_warps
+            and bank.regs[i] + regs <= bank.max_regs
+            and bank.smem[i] + smem <= bank.max_smem
         )
 
     def admit(self, context, usage: ResourceUsage) -> None:
@@ -127,10 +138,13 @@ class SM:
         if context in resident:
             raise ResourceError(f"context already resident on SM {self.sm_id}")
         resident.add(context)
-        self.used_threads += threads
-        self.used_warps += warps
-        self.used_regs += regs
-        self.used_smem += smem
+        bank = self.bank
+        i = self.sm_id
+        bank.free[i] -= 1
+        bank.threads[i] += threads
+        bank.warps[i] += warps
+        bank.regs[i] += regs
+        bank.smem[i] += smem
         if self.obs.enabled:
             self.obs.sm_admitted(self.sm_id, len(resident))
         if self.prof.enabled:
@@ -149,11 +163,14 @@ class SM:
         if context not in resident:
             raise ResourceError(f"context not resident on SM {self.sm_id}")
         resident.remove(context)
-        self.used_threads -= threads
-        self.used_warps -= warps
-        self.used_regs -= regs
-        self.used_smem -= smem
-        if min(self.used_threads, self.used_warps, self.used_regs, self.used_smem) < 0:
+        bank = self.bank
+        i = self.sm_id
+        bank.free[i] += 1
+        bank.threads[i] -= threads
+        bank.warps[i] -= warps
+        bank.regs[i] -= regs
+        bank.smem[i] -= smem
+        if min(bank.threads[i], bank.warps[i], bank.regs[i], bank.smem[i]) < 0:
             raise ResourceError(
                 f"SM {self.sm_id} resource accounting went negative"
             )
@@ -167,7 +184,7 @@ class SM:
         return not self.resident
 
     def free_cta_slots(self) -> int:
-        return self._max_ctas - len(self.resident)
+        return self.bank.free[self.sm_id]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,12 +5,29 @@ records one interval per hosted CTA context (SM id, start, end, kernel,
 tags). From those intervals it derives per-SM occupancy series and an
 ASCII Gantt rendering — which is how `experiments/fig2.py` regenerates
 the paper's Figure-2 illustration of temporal vs spatial preemption.
+
+Two lighter companions serve the schedule-identity contract
+(DESIGN.md §15):
+
+* :class:`ScheduleHash` — an O(1)-memory crc32 fold over the kernel-level
+  timeline (kernel name, SM id, residency start/end, in retirement
+  order). Every :class:`~repro.gpu.gpu.SimulatedGPU` carries one, always
+  on, so ``flep run/serve/fleet --json`` and ``flep bench`` snapshots can
+  report a ``schedule_hash`` without retaining intervals — a
+  million-request fleet trace hashes in constant space.
+* :func:`collected_timelines` — a process-global collection window; every
+  device built inside it records a full :class:`Timeline`. The
+  golden-trace tests use it to compare macro-event and reference-loop
+  schedules interval by interval.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from struct import pack
 from typing import Dict, List, Optional, Tuple
+from zlib import crc32
 
 from ..errors import SimulationError
 
@@ -136,6 +153,15 @@ class Timeline:
             t = end
         return series
 
+    def schedule_hash(self) -> str:
+        """crc32 over this timeline's kernel-level schedule, identical
+        to the device's always-on :class:`ScheduleHash` digest when every
+        context retired (``close_open`` extras are hashed too)."""
+        crc = 0
+        for iv in self.intervals:
+            crc = _fold_crc(crc, iv.kernel, iv.sm_id, iv.start_us, iv.end_us)
+        return f"{crc:08x}"
+
     # -- rendering ---------------------------------------------------------
     def render_ascii(
         self,
@@ -175,3 +201,111 @@ class Timeline:
             f"      {t0:.0f}us .. {t1:.0f}us, one column = {bucket_us:.0f}us"
         )
         return "\n".join(lines + [scale, "      " + legend])
+
+
+# ---------------------------------------------------------------------------
+# schedule hashing (identity contract, DESIGN.md §15)
+# ---------------------------------------------------------------------------
+def _fold_crc(crc: int, kernel: str, sm_id: int, start: float, end: float) -> int:
+    """Fold one residency interval into a running crc32."""
+    return crc32(
+        kernel.encode() + pack("<idd", sm_id, start, end), crc
+    )
+
+
+class ScheduleHash:
+    """Constant-space crc32 fold of a device's kernel-level timeline.
+
+    Folded at context retirement (the same instant :class:`Timeline`
+    records an interval), over ``(kernel, sm_id, started_at, ended_at)``
+    in retirement order — which the identity contract fixes, so two runs
+    with the same schedule produce the same digest and any timeline or
+    completion-order drift changes it. Two hexdigests comparing equal is
+    what ``flep bench --fail-on-drift`` gates on.
+    """
+
+    __slots__ = ("crc", "count")
+
+    def __init__(self):
+        self.crc = 0
+        self.count = 0
+
+    def fold(self, kernel: str, sm_id: int, start: float, end: float) -> None:
+        self.crc = _fold_crc(self.crc, kernel, sm_id, start, end)
+        self.count += 1
+
+    @property
+    def hexdigest(self) -> str:
+        return f"{self.crc:08x}"
+
+
+def combined_schedule_hash(digests: "List[str]") -> str:
+    """One digest over several devices' digests (fleet rollups), stable
+    under the caller's node order."""
+    return f"{crc32(':'.join(digests).encode()):08x}"
+
+
+# ---------------------------------------------------------------------------
+# process-global schedule-hash collection (bench / CLI reporting)
+# ---------------------------------------------------------------------------
+_COLLECT_SCHED: Optional[List[ScheduleHash]] = None
+
+
+def _maybe_collect_sched(sched: ScheduleHash) -> None:
+    """Register a device's always-on digest with the open collection
+    window, if any (the device constructor calls this)."""
+    if _COLLECT_SCHED is not None:
+        _COLLECT_SCHED.append(sched)
+
+
+@contextmanager
+def collected_schedule_hashes():
+    """Collect every device's :class:`ScheduleHash` built in this window
+    — constant space per device, unlike :func:`collected_timelines`.
+    Read ``.hexdigest`` after the workload ran::
+
+        with collected_schedule_hashes() as scheds:
+            SCENARIOS["fleet_sweep"].run(scale)
+        digest = combined_schedule_hash([s.hexdigest for s in scheds])
+    """
+    global _COLLECT_SCHED
+    prev = _COLLECT_SCHED
+    _COLLECT_SCHED = out = []
+    try:
+        yield out
+    finally:
+        _COLLECT_SCHED = prev
+
+
+# ---------------------------------------------------------------------------
+# process-global timeline collection (golden-trace tests)
+# ---------------------------------------------------------------------------
+_COLLECT: Optional[List[Timeline]] = None
+
+
+def _maybe_collect_timeline() -> Optional[Timeline]:
+    """A fresh collected Timeline when a collection window is open (the
+    device constructor calls this), else None."""
+    if _COLLECT is None:
+        return None
+    tl = Timeline()
+    _COLLECT.append(tl)
+    return tl
+
+
+@contextmanager
+def collected_timelines():
+    """Collect a full :class:`Timeline` from every device constructed in
+    this window::
+
+        with collected_timelines() as tls:
+            SCENARIOS["fig8_mix"].run(scale)
+        hashes = [tl.schedule_hash() for tl in tls]
+    """
+    global _COLLECT
+    prev = _COLLECT
+    _COLLECT = out = []
+    try:
+        yield out
+    finally:
+        _COLLECT = prev

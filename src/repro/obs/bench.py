@@ -44,8 +44,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..errors import ObservabilityError
 from .profiler import SimProfiler, profiled
 
-#: Bump when the report layout changes incompatibly.
-BENCH_SCHEMA = "flep-bench/1"
+#: Current report schema. v2 added the per-scenario ``schedule_hash``
+#: (crc32 over the kernel-level timeline, combined across devices) and
+#: re-keyed the drift gate to it; v1 files are still readable — their
+#: hash rows compare as ``no-baseline``.
+BENCH_SCHEMA = "flep-bench/2"
+
+#: Schemas :meth:`BenchReport.from_dict` accepts.
+COMPAT_SCHEMAS = ("flep-bench/1", "flep-bench/2")
 
 #: Workload scale factors per budget tier.
 BUDGETS: Dict[str, float] = {"small": 0.5, "default": 1.0, "large": 3.0}
@@ -288,10 +294,10 @@ class BenchReport:
     def from_dict(cls, data: Dict[str, object]) -> "BenchReport":
         """Parse a loaded JSON document, validating the schema stamp."""
         schema = data.get("schema")
-        if schema != BENCH_SCHEMA:
+        if schema not in COMPAT_SCHEMAS:
             raise ObservabilityError(
                 f"unsupported bench schema {schema!r} "
-                f"(this build reads {BENCH_SCHEMA!r})"
+                f"(this build reads {', '.join(map(repr, COMPAT_SCHEMAS))})"
             )
         return cls(
             budget=str(data.get("budget", "")),
@@ -312,7 +318,8 @@ class BenchReport:
         """Human-readable per-scenario table."""
         header = (
             f"{'scenario':16s} {'events':>10s} {'wall_s':>8s} "
-            f"{'events/s':>12s} {'sim-s/wall-s':>12s} {'peak_q':>7s}"
+            f"{'events/s':>12s} {'sim-s/wall-s':>12s} {'peak_q':>7s} "
+            f"{'sched_hash':>10s}"
         )
         lines = [
             f"flep bench [{self.budget}] @ {self.git_sha} ({self.created})",
@@ -324,7 +331,8 @@ class BenchReport:
                 f"{s['name']:16s} {s['events']:10d} {s['wall_s']:8.3f} "
                 f"{s['events_per_sec']:12,.0f} "
                 f"{s['sim_us_per_wall_s'] / 1e6:12.3f} "
-                f"{s['peak_queue_depth']:7d}"
+                f"{s['peak_queue_depth']:7d} "
+                f"{str(s.get('schedule_hash', '-')):>10s}"
             )
         return "\n".join(lines)
 
@@ -396,15 +404,24 @@ def run_bench(
         python=platform.python_version(),
     )
     warm_scale = min(scale, BUDGETS["small"])
+    # lazy: keep repro.obs importable without dragging in repro.gpu
+    from ..gpu.trace import collected_schedule_hashes, combined_schedule_hash
+
     for name in names:
         if warmup:
             table[name].run(warm_scale)
         prof = SimProfiler()
-        with profiled(prof):
+        # every device built by the scenario registers its always-on
+        # O(1)-memory digest here; hashing adds nothing to the timed
+        # window beyond the fold the device performs anyway
+        with collected_schedule_hashes() as scheds, profiled(prof):
             extras = table[name].run(scale) or {}
         row: Dict[str, object] = {
             "name": name,
             "description": table[name].description,
+            "schedule_hash": combined_schedule_hash(
+                [s.hexdigest for s in scheds]
+            ),
             **prof.engine_block(),
             "extras": dict(extras),
             "profile": {
@@ -445,9 +462,13 @@ class CompareResult:
 
     @property
     def drifts(self) -> List[Dict[str, object]]:
-        """Rows whose deterministic event count changed: the *workload*
-        differs from the baseline's, which no amount of runner noise can
-        explain — schedules are bit-reproducible at a given budget."""
+        """Rows whose ``schedule_hash`` changed: the kernel-level
+        timeline differs from the baseline's, which no amount of runner
+        noise (or engine rework that honours the identity contract) can
+        explain — schedules are bit-reproducible at a given budget.
+        Event *counts* are engine-internal and may legitimately change
+        (macro fast-forward collapses them); they compare as ``changed``,
+        never ``drift``."""
         return [r for r in self.rows if r["status"] == "drift"]
 
     @property
@@ -466,9 +487,12 @@ class CompareResult:
             old, new = r["old"], r["new"]
             delta = f"{100.0 * r['delta']:+.1f}%" if r["delta"] is not None \
                 else "-"
+            # schedule_hash rows carry hex digests, not rates
+            old_s = old if isinstance(old, str) else f"{old:12,.0f}"
+            new_s = new if isinstance(new, str) else f"{new:12,.0f}"
             lines.append(
                 f"{r['scenario']:16s} {r['metric']:18s} "
-                f"{old:12,.0f} {new:12,.0f} {delta:>8s}  {r['status']}"
+                f"{old_s:>12s} {new_s:>12s} {delta:>8s}  {r['status']}"
             )
         verdict = (
             "OK: no gated metric regressed"
@@ -489,10 +513,15 @@ def compare_reports(
 
     Gated metrics (events/sec, sim-µs per wall-second) are
     higher-is-better rates: a relative drop beyond ``threshold`` marks
-    the row ``regression``. The deterministic ``events`` count is
-    compared informationally — a mismatch means the *workload* changed
-    (``drift``), which makes rate comparisons apples-to-oranges but is
-    not itself a performance regression.
+    the row ``regression``. Identity is gated on ``schedule_hash``: a
+    mismatch means the kernel-level timeline changed (``drift``), which
+    the identity contract forbids across engine rework. A baseline
+    without hashes (a ``flep-bench/1`` file) yields ``no-baseline``.
+    The ``events`` count is engine-internal — macro fast-forward
+    legitimately collapses it — so a mismatch is reported as the
+    informational ``changed``, never ``drift``; when the counts differ,
+    ``events_per_sec`` measures a different workload decomposition and
+    is likewise reported as ``changed`` instead of being gated.
     """
     if threshold <= 0:
         raise ObservabilityError("threshold must be positive")
@@ -507,6 +536,20 @@ def compare_reports(
                 "delta": None, "status": "missing-in-new",
             })
             continue
+        old_hash = old_row.get("schedule_hash")
+        new_hash = new_row.get("schedule_hash")
+        if old_hash is None or new_hash is None:
+            hash_status = "no-baseline"
+        else:
+            hash_status = "ok" if old_hash == new_hash else "drift"
+        result.rows.append({
+            "scenario": name,
+            "metric": "schedule_hash",
+            "old": str(old_hash or "-"),
+            "new": str(new_hash or "-"),
+            "delta": None,
+            "status": hash_status,
+        })
         old_events, new_events = old_row.get("events"), new_row.get("events")
         result.rows.append({
             "scenario": name,
@@ -514,13 +557,19 @@ def compare_reports(
             "old": float(old_events or 0),
             "new": float(new_events or 0),
             "delta": None,
-            "status": "ok" if old_events == new_events else "drift",
+            "status": "ok" if old_events == new_events else "changed",
         })
         for metric in GATED_METRICS:
             old_v = float(old_row.get(metric) or 0.0)
             new_v = float(new_row.get(metric) or 0.0)
             if old_v <= 0.0:
                 delta, status = None, "no-baseline"
+            elif metric == "events_per_sec" and old_events != new_events:
+                # a different event count means the rate measures a
+                # different workload decomposition (macro fast-forward
+                # collapses events); the comparison is informational
+                delta = new_v / old_v - 1.0
+                status = "changed"
             else:
                 delta = new_v / old_v - 1.0
                 if delta < -threshold:

@@ -143,6 +143,9 @@ class SimProfiler:
         self.task_pulls = 0
         self.flag_polls = 0
         self.cta_admissions = 0
+        #: batches retired inside macro-event fast-forward (no per-batch
+        #: event fired for them); surfaced as the ``macro-batch`` kind
+        self.batches_collapsed = 0
         self.preempt_requested: Dict[str, int] = {}
         self.preempt_completed: Dict[str, int] = {}
         # timelines (bounded; ``dropped_samples`` counts the overflow
@@ -233,6 +236,13 @@ class SimProfiler:
         self.task_pulls += tasks
         self.flag_polls += polls
 
+    def on_macro_collapse(self, batches: int) -> None:
+        """``batches`` per-batch events were collapsed into a macro-event
+        fast-forward flush (:mod:`repro.gpu.macro`). Their task/poll
+        totals were already charged through :meth:`on_batch`; this only
+        records how much per-batch eventing was avoided."""
+        self.batches_collapsed += batches
+
     def on_preempt_requested(self, kind: str, inv_id: int) -> None:
         """A preemption was requested; opens the drain-stall span."""
         self.preempt_requested[kind] = self.preempt_requested.get(kind, 0) + 1
@@ -275,6 +285,10 @@ class SimProfiler:
         for label, n in self._by_label.items():
             kind = _event_kind(label)
             out[kind] = out.get(kind, 0) + n
+        if self.batches_collapsed:
+            out["macro-batch"] = (
+                out.get("macro-batch", 0) + self.batches_collapsed
+            )
         return out
 
     @property
@@ -354,6 +368,7 @@ class SimProfiler:
             "task_pulls": self.task_pulls,
             "flag_polls": self.flag_polls,
             "cta_admissions": self.cta_admissions,
+            "batches_collapsed": self.batches_collapsed,
             "preempt_requested": dict(sorted(self.preempt_requested.items())),
             "preempt_completed": dict(sorted(self.preempt_completed.items())),
             "preempt_latency_us": {
@@ -380,7 +395,8 @@ class SimProfiler:
             f" (scheduled {self.events_scheduled})",
             f"hot loop        task_pulls={self.task_pulls}"
             f" flag_polls={self.flag_polls}"
-            f" cta_admissions={self.cta_admissions}",
+            f" cta_admissions={self.cta_admissions}"
+            f" batches_collapsed={self.batches_collapsed}",
         ]
         for kind in sorted(self.events_by_kind):
             lines.append(
@@ -470,6 +486,9 @@ class NullSimProfiler(SimProfiler):
         pass
 
     def on_batch(self, tasks, polls):
+        pass
+
+    def on_macro_collapse(self, batches):
         pass
 
     def on_preempt_requested(self, kind, inv_id):

@@ -143,16 +143,26 @@ class ModelBank:
     ):
         self._models: Dict[str, KernelPerformanceModel] = {}
         self._suite = suite
+        # (kernel, input) -> duration; the ridge evaluation is a numpy
+        # round-trip, and the serving/fleet estimate paths re-ask for the
+        # same handful of named inputs per request
+        self._cache: Dict[tuple, float] = {}
         for kspec in suite:
             self._models[kspec.name] = train_kernel_model(
                 kspec, alpha=alpha, seed=seed, device=device
             )
 
     def predict(self, kernel_name: str, inp: InputSpec) -> float:
+        key = (kernel_name, inp)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         if kernel_name not in self._models:
             raise ModelError(f"no model for kernel {kernel_name!r}")
         kspec = self._suite[kernel_name]
-        return self._models[kernel_name].predict_input(kspec, inp)
+        value = self._models[kernel_name].predict_input(kspec, inp)
+        self._cache[key] = value
+        return value
 
     def model(self, kernel_name: str) -> KernelPerformanceModel:
         return self._models[kernel_name]
@@ -167,6 +177,13 @@ class OracleModelBank:
     def __init__(self, suite, device: Optional[GPUDeviceSpec] = None):
         self._suite = suite
         self._device = device
+        self._cache: Dict[tuple, float] = {}
 
     def predict(self, kernel_name: str, inp: InputSpec) -> float:
-        return true_duration_us(self._suite[kernel_name], inp, self._device)
+        key = (kernel_name, inp)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = true_duration_us(
+                self._suite[kernel_name], inp, self._device
+            )
+        return cached

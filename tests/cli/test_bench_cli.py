@@ -113,7 +113,7 @@ class TestBenchCommand:
         drifted = tmp_path / "drifted.json"
         assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
         data = json.loads(old.read_text())
-        data["scenarios"][0]["events"] += 1
+        data["scenarios"][0]["schedule_hash"] = "deadbeef"
         drifted.write_text(json.dumps(data))
         # warn-only alone lets the drift through...
         assert main(["bench", "--compare", str(old),
@@ -122,17 +122,46 @@ class TestBenchCommand:
         assert main(["bench", "--compare", str(old),
                      "--against", str(drifted), "--warn-only",
                      "--fail-on-drift"]) == 3
-        assert "drift" in capsys.readouterr().err
+        assert "schedule-hash drift" in capsys.readouterr().err
 
-    def test_fail_on_drift_passes_on_identical_counts(
+    def test_fail_on_drift_passes_on_identical_hashes(
         self, tiny_scenarios, tmp_path
     ):
         old = tmp_path / "old.json"
         slow = tmp_path / "slow.json"
         assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
-        _write_slowed(old, slow, 0.8)  # rate drop, same event counts
+        _write_slowed(old, slow, 0.8)  # rate drop, same schedules
         assert main(["bench", "--compare", str(old), "--against",
                      str(slow), "--warn-only", "--fail-on-drift"]) == 0
+
+    def test_event_count_change_alone_is_not_drift(
+        self, tiny_scenarios, tmp_path
+    ):
+        """The gate is the kernel-level timeline hash, not the engine's
+        event count (macro fast-forward collapses the latter)."""
+        old = tmp_path / "old.json"
+        fewer = tmp_path / "fewer.json"
+        assert main(["bench", "--budget", "small", "-o", str(old)]) == 0
+        data = json.loads(old.read_text())
+        data["scenarios"][0]["events"] += 1
+        fewer.write_text(json.dumps(data))
+        assert main(["bench", "--compare", str(old), "--against",
+                     str(fewer), "--warn-only", "--fail-on-drift"]) == 0
+
+    def test_v1_baseline_compares_without_drift(
+        self, tiny_scenarios, tmp_path
+    ):
+        """CI's seed baseline predates hashes; it must not hard-fail."""
+        new = tmp_path / "new.json"
+        v1 = tmp_path / "v1.json"
+        assert main(["bench", "--budget", "small", "-o", str(new)]) == 0
+        data = json.loads(new.read_text())
+        data["schema"] = "flep-bench/1"
+        for s in data["scenarios"]:
+            del s["schedule_hash"]
+        v1.write_text(json.dumps(data))
+        assert main(["bench", "--compare", str(v1), "--against",
+                     str(new), "--warn-only", "--fail-on-drift"]) == 0
 
     def test_scenario_filter(self, tiny_scenarios, tmp_path, capsys):
         out = tmp_path / "b.json"
@@ -152,6 +181,8 @@ class TestEngineBlocks:
         assert engine["wall_s"] > 0
         assert engine["peak_queue_depth"] > 0
         assert engine["sims"] >= 1
+        h = reports[0]["schedule_hash"]
+        assert isinstance(h, str) and len(h) == 8
 
     def test_serve_json_includes_engine_block(self, capsys):
         assert main([
@@ -162,3 +193,5 @@ class TestEngineBlocks:
         engine = rows[0]["engine"]
         assert engine["events"] > 0
         assert engine["peak_queue_depth"] > 0
+        h = rows[0]["schedule_hash"]
+        assert isinstance(h, str) and len(h) == 8

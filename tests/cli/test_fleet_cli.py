@@ -23,6 +23,8 @@ class TestFleetCommand:
         assert {n["mode"] for n in doc["nodes"]} == {"flep-temporal", "mps"}
         assert "fleet_attainment" in doc
         assert doc["serving"]["tenants"]
+        h = doc["schedule_hash"]
+        assert isinstance(h, str) and len(h) == 8
 
     def test_text_report(self, capsys):
         assert main(["fleet", *FAST]) == 0

@@ -151,3 +151,55 @@ class TestProperties:
             assert needed * per_sm >= ctas
         if needed > 1:
             assert (needed - 1) * per_sm < ctas
+
+
+class TestAdmissionEquivalence:
+    """occupancy_report and the SM admission screen share one footprint
+    entry (repro.gpu.occupancy.cta_footprint) — reported occupancy must
+    match what repeated admission actually achieves."""
+
+    @given(
+        threads=st.integers(1, 1024),
+        regs=st.integers(1, 64),
+        smem=st.integers(0, 48 * 1024),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_report_footprint_matches_admission_footprint(
+        self, threads, regs, smem
+    ):
+        from repro.gpu.occupancy import cta_footprint
+
+        k40 = tesla_k40()
+        usage = ResourceUsage(threads, regs, smem)
+        try:
+            report = occupancy_report(k40, usage)
+        except OccupancyError:
+            return
+        warps, regs_cta, smem_cta = cta_footprint(usage, k40)
+        assert report.warps_per_cta == warps
+        assert report.regs_per_cta == regs_cta
+        assert report.shared_per_cta == smem_cta
+
+    @given(
+        threads=st.integers(1, 1024),
+        regs=st.integers(1, 64),
+        smem=st.integers(0, 48 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admission_count_equals_reported_ctas_per_sm(
+        self, threads, regs, smem
+    ):
+        from repro.gpu.sm import SM
+
+        k40 = tesla_k40()
+        usage = ResourceUsage(threads, regs, smem)
+        try:
+            report = occupancy_report(k40, usage)
+        except OccupancyError:
+            return
+        sm = SM(0, k40)
+        admitted = 0
+        while sm.can_host(usage):
+            sm.admit(object(), usage)
+            admitted += 1
+        assert admitted == report.ctas_per_sm
